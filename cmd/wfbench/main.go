@@ -1,0 +1,43 @@
+// Command wfbench regenerates every experiment of EXPERIMENTS.md: the
+// paper's figures, examples, and theorems (E*/F*/T*/L*) plus the
+// performance experiments (P*) that quantify its scalability claims.
+//
+// Usage:
+//
+//	wfbench                # run everything
+//	wfbench -exp E9        # run one experiment
+//	wfbench -list          # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (default: all)")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	if *exp != "" {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wfbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		fmt.Println(e.Run().Format())
+		return
+	}
+	for _, e := range bench.All() {
+		fmt.Println(e.Run().Format())
+	}
+}

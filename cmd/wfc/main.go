@@ -1,0 +1,121 @@
+// Command wfc compiles a .wf workflow specification to its guard
+// table: for every event of the workflow (both polarities), the
+// temporal guard the distributed scheduler will enforce, plus the
+// per-dependency contributions and the residuation state machine of
+// each dependency.
+//
+// Usage:
+//
+//	wfc [-fsm] [-per-dep] [file.wf]
+//
+// With no file, the spec is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+func main() {
+	fsm := flag.Bool("fsm", false, "print each dependency's residuation state machine (Figure 2)")
+	perDep := flag.Bool("per-dep", false, "print per-dependency guard contributions")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, os.Stdout, *fsm, *perDep); err != nil {
+		fatal(err)
+	}
+}
+
+// run compiles the spec read from in and writes the report to out.
+func run(in io.Reader, out io.Writer, fsm, perDep bool) error {
+	s, err := spec.Parse(in)
+	if err != nil {
+		return err
+	}
+	c, err := core.Compile(s.Workflow)
+	if err != nil {
+		return err
+	}
+
+	if s.Name != "" {
+		fmt.Fprintf(out, "workflow %s\n", s.Name)
+	}
+	fmt.Fprintf(out, "dependencies: %d, events: %d (both polarities: %d)\n\n",
+		len(s.Workflow.Deps), len(s.Workflow.Alphabet().Bases()), len(c.Guards))
+	for i, d := range s.Workflow.Deps {
+		fmt.Fprintf(out, "  %-8s %s\n", s.Workflow.Name(i)+":", d.Key())
+	}
+
+	fmt.Fprintln(out, "\nguard table:")
+	for _, eg := range c.Events() {
+		fmt.Fprintf(out, "  G(%s) = %s\n", eg.Event.Key(), eg.Guard.Key())
+		if perDep {
+			idxs := make([]int, 0, len(eg.PerDep))
+			for i := range eg.PerDep {
+				idxs = append(idxs, i)
+			}
+			sort.Ints(idxs)
+			for _, i := range idxs {
+				fmt.Fprintf(out, "      from %s: %s\n", s.Workflow.Name(i), eg.PerDep[i].Key())
+			}
+		}
+	}
+
+	st := c.Stats
+	fmt.Fprintf(out, "\nsynthesis: %d calls, %d cache hits, %d decompositions, total guard size %d\n",
+		st.Calls, st.CacheHits, st.Decompositions, c.TotalGuardSize())
+
+	if fsm {
+		for i, d := range s.Workflow.Deps {
+			fmt.Fprintf(out, "\nstate machine of %s (%s):\n", s.Workflow.Name(i), d.Key())
+			printFSM(out, d)
+		}
+	}
+	return nil
+}
+
+func printFSM(out io.Writer, d *algebra.Expr) {
+	states := algebra.Reachable(d)
+	keys := make([]string, 0, len(states))
+	for k := range states {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(out, "  state %q\n", k)
+		edges := states[k]
+		symKeys := make([]string, 0, len(edges))
+		for sk := range edges {
+			symKeys = append(symKeys, sk)
+		}
+		sort.Strings(symKeys)
+		for _, sk := range symKeys {
+			next := edges[sk]
+			if next.Key() == k {
+				continue // self-loop: uninteresting
+			}
+			fmt.Fprintf(out, "    --%s--> %q\n", sk, next.Key())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunTravelSpec(t *testing.T) {
+	f, err := os.Open("../../testdata/travel.wf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out bytes.Buffer
+	if err := run(f, &out, true, true); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"workflow travel",
+		"dependencies: 4",
+		"G(c_buy) =",
+		"from order:",
+		"state machine of order",
+		"synthesis:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestRunBadSpec(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("dep e +"), &out, false, false); err == nil {
+		t.Fatal("bad spec must error")
+	}
+	if err := run(strings.NewReader("dep 0"), &out, false, false); err == nil {
+		t.Fatal("unsatisfiable dependency must error")
+	}
+}

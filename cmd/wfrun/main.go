@@ -1,0 +1,88 @@
+// Command wfrun executes a .wf workflow specification on one of the
+// three schedulers (or all of them) over the simulated network and
+// reports the realized trace, decisions, and metrics.
+//
+// Usage:
+//
+//	wfrun [-sched distributed|central-residuation|central-automata|all]
+//	      [-seed n] [-trace] [file.wf]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/sched"
+	"repro/internal/spec"
+)
+
+func main() {
+	kindFlag := flag.String("sched", "distributed", "scheduler kind, or 'all' to compare")
+	seed := flag.Int64("seed", 1996, "simulation seed")
+	showDecisions := flag.Bool("trace", false, "print every decision")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, os.Stdout, *kindFlag, *seed, *showDecisions); err != nil {
+		fatal(err)
+	}
+}
+
+// run executes the spec read from in on the requested scheduler(s) and
+// writes the report to out.
+func run(in io.Reader, out io.Writer, kindFlag string, seed int64, showDecisions bool) error {
+	s, err := spec.Parse(in)
+	if err != nil {
+		return err
+	}
+
+	var kinds []sched.Kind
+	if kindFlag == "all" {
+		kinds = sched.Kinds()
+	} else {
+		kinds = []sched.Kind{sched.Kind(kindFlag)}
+	}
+
+	for _, kind := range kinds {
+		r, err := sched.Run(s.RunConfig(kind, seed))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== %s ==\n", kind)
+		fmt.Fprintf(out, "trace:     %v\n", r.Trace)
+		fmt.Fprintf(out, "satisfied: %v\n", r.Satisfied)
+		if len(r.Unresolved) > 0 {
+			fmt.Fprintf(out, "UNRESOLVED: %v\n", r.Unresolved)
+		}
+		fmt.Fprintf(out, "makespan:  %dµs   messages: %d (remote %d)   msgs/event: %.1f\n",
+			r.Makespan, r.Stats.Messages, r.Stats.Remote, r.MessagesPerEvent())
+		fmt.Fprintf(out, "latency:   avg %dµs  max %dµs\n", r.AvgLatency(), r.MaxLatency())
+		if showDecisions {
+			for _, d := range r.Decisions {
+				verdict := "accept"
+				if !d.Accepted {
+					verdict = "reject"
+				}
+				fmt.Fprintf(out, "  %-7s %-16s attempted=%d decided=%d %s\n",
+					verdict, d.Sym.Key(), d.AttemptedAt, d.DecidedAt, d.Reason)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunAllSchedulers(t *testing.T) {
+	for _, file := range []string{"../../testdata/travel.wf", "../../testdata/mutex.wf"} {
+		f, err := os.Open(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := run(f, &out, "all", 1996, true); err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		f.Close()
+		text := out.String()
+		for _, want := range []string{
+			"== distributed ==",
+			"== central-residuation ==",
+			"== central-automata ==",
+			"satisfied: true",
+			"accept",
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s: output missing %q\n%s", file, want, text)
+			}
+		}
+		if strings.Contains(text, "UNRESOLVED") {
+			t.Errorf("%s: run stalled:\n%s", file, text)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("nonsense"), &out, "distributed", 1, false); err == nil {
+		t.Fatal("bad spec must error")
+	}
+	if err := run(strings.NewReader("dep ~a + b"), &out, "warp", 1, false); err == nil {
+		t.Fatal("unknown scheduler must error")
+	}
+}

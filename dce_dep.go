@@ -1,0 +1,65 @@
+package dce
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/dep"
+	"repro/internal/param"
+)
+
+// Dependency-pattern constructors (see internal/dep): the primitives
+// of Klein [10] — which capture those of ACTA [3] and Günthör [8] —
+// plus the idioms the paper's examples use.
+
+// Before is Klein's e < f: if both events occur, e precedes f.
+func Before(e, f Symbol) *Expr { return dep.Before(e, f) }
+
+// Implies is Klein's e → f: if e occurs then f also occurs.
+func Implies(e, f Symbol) *Expr { return dep.Implies(e, f) }
+
+// Enables orders enablement: e occurs only after f has.
+func Enables(f, e Symbol) *Expr { return dep.Enables(f, e) }
+
+// Compensate: if committed occurs, success or compensation does too.
+func Compensate(committed, success, compensation Symbol) *Expr {
+	return dep.Compensate(committed, success, compensation)
+}
+
+// OnlyIfNever restricts e to executions where f never occurs.
+func OnlyIfNever(e, f Symbol) *Expr { return dep.OnlyIfNever(e, f) }
+
+// Exclusive forbids both events from occurring.
+func Exclusive(e, f Symbol) *Expr { return dep.Exclusive(e, f) }
+
+// Coupled makes the events occur together or not at all (two deps).
+func Coupled(e, f Symbol) []*Expr { return dep.Coupled(e, f) }
+
+// ChainDeps orders the events pairwise with Before.
+func ChainDeps(events ...Symbol) []*Expr { return dep.Chain(events...) }
+
+// TravelWorkflow builds the paper's Example 4 workflow; strengthen
+// adds the fourth dependency discussed at the end of the example.
+func TravelWorkflow(sBuy, cBuy, sBook, cBook, sCancel Symbol, strengthen bool) *Workflow {
+	return dep.Travel(sBuy, cBuy, sBook, cBook, sCancel, strengthen)
+}
+
+// Equivalent decides whether two expressions are satisfied by exactly
+// the same traces (exact, via the residuation automaton).
+func Equivalent(a, b *Expr) bool { return algebra.Equivalent(a, b) }
+
+// Satisfiable reports whether any trace satisfies the expression.
+func Satisfiable(e *Expr) bool { return algebra.Satisfiable(e) }
+
+// Distributed parametrized scheduling (§4 + §5 combined): type actors
+// over the simulated network.
+type (
+	// TypesConfig describes a distributed parametrized run.
+	TypesConfig = param.TypesConfig
+	// TypesReport summarizes a distributed parametrized run.
+	TypesReport = param.TypesReport
+	// TimedToken is one scripted token attempt.
+	TimedToken = param.TimedToken
+)
+
+// RunTypes executes parametrized dependencies with one type actor per
+// event type over the simulated network.
+func RunTypes(cfg TypesConfig) (*TypesReport, error) { return param.RunTypes(cfg) }

@@ -1,0 +1,174 @@
+package dce
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the README quick-start path through
+// the public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	w, err := ParseWorkflow("~e + ~f + e . f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GuardOf(MustSymbol("e")).Key(); got != "!f" {
+		t.Fatalf("G(D_<, e): got %q want !f", got)
+	}
+	if got := c.GuardOf(MustSymbol("f")).Key(); got != "<>(~e) + []e" {
+		t.Fatalf("G(D_<, f): got %q", got)
+	}
+}
+
+func TestFacadeResiduate(t *testing.T) {
+	d := MustParse("~e + ~f + e . f")
+	if got := Residuate(d, MustSymbol("e")).Key(); got != "f + ~f" {
+		t.Fatalf("D_</e: %q", got)
+	}
+}
+
+func TestFacadeRun(t *testing.T) {
+	w, _ := ParseWorkflow("~e + f")
+	for _, kind := range SchedulerKinds() {
+		r, err := Run(RunConfig{
+			Workflow: w,
+			Kind:     kind,
+			Agents: []*AgentScript{
+				{ID: "a", Site: "s0", Steps: []AgentStep{{Sym: MustSymbol("e"), Think: 5}}},
+				{ID: "b", Site: "s0", Steps: []AgentStep{{Sym: MustSymbol("f"), Think: 9}}},
+			},
+			Seed:     7,
+			Closeout: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Satisfied {
+			t.Fatalf("%s: trace %v", kind, r.Trace)
+		}
+	}
+}
+
+func TestFacadeSpec(t *testing.T) {
+	s, err := ParseSpecString("workflow x\ndep ~a + b\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "x" || len(s.Workflow.Deps) != 1 {
+		t.Fatalf("spec: %+v", s)
+	}
+	if _, err := ParseSpec(strings.NewReader("dep ~a + b\n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeParam(t *testing.T) {
+	tpl, err := NewTemplate("go[?id]", "~go[?id] + done[?id]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, b, err := tpl.Instantiate(MustSymbol("go[42]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b["id"] != "42" || len(w.Deps) != 1 {
+		t.Fatalf("instance: %v %v", b, w.Deps)
+	}
+
+	m, err := NewManager("~enter[?x] + exit[?x]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Attempt(MustSymbol("enter[1]")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeTasks(t *testing.T) {
+	in, err := NewTaskInstance(TransactionSkeleton(), "buy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Apply("start"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Symbol("commit").Key() != "commit_buy" {
+		t.Fatalf("symbol: %s", in.Symbol("commit"))
+	}
+	if DefaultLatency().Remote == 0 {
+		t.Fatal("latency model must be populated")
+	}
+	if ApplicationSkeleton().Name == "" || RDATransactionSkeleton().Name == "" {
+		t.Fatal("skeletons must be named")
+	}
+}
+
+func TestFacadePatterns(t *testing.T) {
+	a, b, c := Sym("a"), Sym("b"), Sym("c")
+	if Before(a, b).Key() != "a . b + ~a + ~b" {
+		t.Errorf("Before: %v", Before(a, b))
+	}
+	if Implies(a, b).Key() != "b + ~a" {
+		t.Errorf("Implies: %v", Implies(a, b))
+	}
+	if Enables(a, b).Key() != "a . b + ~b" {
+		t.Errorf("Enables: %v", Enables(a, b))
+	}
+	if Compensate(a, b, c).Key() != "b + c + ~a" {
+		t.Errorf("Compensate: %v", Compensate(a, b, c))
+	}
+	if OnlyIfNever(a, b).Key() != Exclusive(a, b).Key() {
+		t.Error("OnlyIfNever and Exclusive must agree")
+	}
+	if len(Coupled(a, b)) != 2 || len(ChainDeps(a, b, c)) != 2 {
+		t.Error("Coupled/ChainDeps arity")
+	}
+	w := TravelWorkflow(Sym("sb"), Sym("cb"), Sym("sk"), Sym("ck"), Sym("sc"), true)
+	if len(w.Deps) != 4 {
+		t.Errorf("TravelWorkflow: %d deps", len(w.Deps))
+	}
+	if !Equivalent(MustParse("e . T"), MustParse("e")) {
+		t.Error("Equivalent must hold")
+	}
+	if !Satisfiable(MustParse("e . f")) {
+		t.Error("Satisfiable must hold")
+	}
+	if GuardOf(MustParse("~e + f"), MustSymbol("e")).Key() != "<>(f)" {
+		t.Error("GuardOf wrapper")
+	}
+}
+
+func TestFacadeRunTypes(t *testing.T) {
+	rep, err := RunTypes(TypesConfig{
+		Deps: []string{"~go[?x] + done[?x]"},
+		Script: []TimedToken{
+			{Ground: "done[1]", At: 1},
+			{Ground: "go[1]", At: 100},
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trace) != 2 {
+		t.Fatalf("trace: %v", rep.Trace)
+	}
+}
+
+func TestFacadeAgentFromTask(t *testing.T) {
+	in, err := NewTaskInstance(TransactionSkeleton(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := AgentFromTask(in, "s0", []string{"start", "commit"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ag.Steps) < 2 {
+		t.Fatalf("steps: %d", len(ag.Steps))
+	}
+}

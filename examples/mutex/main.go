@@ -1,0 +1,83 @@
+// Mutex: the paper's Example 13 — mutual exclusion between two tasks
+// of arbitrary structure, specified as a parametrized dependency and
+// scheduled over event tokens minted by per-agent counters (§5).  The
+// tasks loop: every iteration is a fresh pair of tokens and the guards
+// resurrect for it (Example 14's mechanism at work).
+//
+//	go run ./examples/mutex
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dce "repro"
+)
+
+func main() {
+	// If T1 enters its critical section before T2, T1 exits before T2
+	// enters — and symmetrically.  (Paper, Example 13.)
+	m, err := dce.NewManager(
+		"b2[?y] . b1[?x] + ~e1[?x] + ~b2[?y] + e1[?x] . b2[?y]",
+		"b1[?x] . b2[?y] + ~e2[?y] + ~b1[?x] + e2[?y] . b1[?x]",
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var counter dce.Counter
+
+	attempt := func(base string) {
+		tok := counter.Next(dce.Sym(base))
+		out, err := m.Attempt(tok)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s → %-9s trace %v\n", tok.Key(), out, m.Trace())
+	}
+
+	fmt.Println("two looping tasks racing for their critical sections:")
+	for iter := 0; iter < 3; iter++ {
+		fmt.Printf("iteration %d:\n", iter+1)
+		attempt("b1") // T1 enters
+		attempt("b2") // T2 tries while T1 is inside: parked
+		attempt("e1") // T1 exits: T2 is admitted automatically
+		attempt("e2") // T2 exits
+	}
+
+	if violated, ok := m.SatisfiesInstances(); !ok {
+		log.Fatalf("VIOLATION of %v", violated)
+	}
+	fmt.Println("\nevery ground instance of both dependencies is satisfied")
+	fmt.Printf("final trace: %v\n", m.Trace())
+
+	distributed()
+}
+
+// distributed runs the same specification with one type actor per
+// event type over the simulated network: b1/e1 live at site t1, b2/e2
+// at site t2, and the freeze agreement serializes racing entries.
+func distributed() {
+	fmt.Println("\ndistributed run (type actors on two sites):")
+	rep, err := dce.RunTypes(dce.TypesConfig{
+		Deps: []string{
+			"b2[?y] . b1[?x] + ~e1[?x] + ~b2[?y] + e1[?x] . b2[?y]",
+			"b1[?x] . b2[?y] + ~e2[?y] + ~b1[?x] + e2[?y] . b1[?x]",
+		},
+		Placement: map[string]dce.SiteID{
+			"b1": "t1", "e1": "t1", "b2": "t2", "e2": "t2",
+		},
+		Script: []dce.TimedToken{
+			{Ground: "b1[i1]", At: 10},
+			{Ground: "b2[j1]", At: 12}, // races from the other site
+			{Ground: "e1[i1]", At: 5000},
+			{Ground: "e2[j1]", At: 10000},
+		},
+		Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  realized order: %v\n", rep.Trace)
+	fmt.Printf("  messages: %d (%d remote), parked at end: %d\n",
+		rep.Stats.Messages, rep.Stats.Remote, len(rep.Parked))
+}

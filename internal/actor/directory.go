@@ -1,0 +1,93 @@
+package actor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/simnet"
+)
+
+// Directory maps events to the sites of their actors and records who
+// watches whom.  It is built once, before execution, from the compiled
+// workflow — part of the precompilation the paper advocates — and is
+// read-only afterwards.
+type Directory struct {
+	// sites maps base-event key → actor site.
+	sites map[string]simnet.SiteID
+	// subscribers maps base-event key → sites to notify on occurrence
+	// of either polarity (the sites of actors whose guards watch the
+	// event).
+	subscribers map[string][]simnet.SiteID
+}
+
+// NewDirectory creates an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{
+		sites:       make(map[string]simnet.SiteID),
+		subscribers: make(map[string][]simnet.SiteID),
+	}
+}
+
+// Place assigns the actor of an event (both polarities) to a site.
+func (d *Directory) Place(base algebra.Symbol, site simnet.SiteID) {
+	d.sites[base.Base().Key()] = site
+}
+
+// SiteOf returns the actor site of an event.
+func (d *Directory) SiteOf(s algebra.Symbol) (simnet.SiteID, error) {
+	site, ok := d.sites[s.Base().Key()]
+	if !ok {
+		return "", fmt.Errorf("actor: no actor placed for event %s", s.Base())
+	}
+	return site, nil
+}
+
+// Subscribe adds a site to the announcement list of an event.
+func (d *Directory) Subscribe(base algebra.Symbol, site simnet.SiteID) {
+	k := base.Base().Key()
+	for _, s := range d.subscribers[k] {
+		if s == site {
+			return
+		}
+	}
+	d.subscribers[k] = append(d.subscribers[k], site)
+	sort.Slice(d.subscribers[k], func(i, j int) bool { return d.subscribers[k][i] < d.subscribers[k][j] })
+}
+
+// SubscribersOf returns the sites to notify when the event (either
+// polarity) occurs.
+func (d *Directory) SubscribersOf(s algebra.Symbol) []simnet.SiteID {
+	return d.subscribers[s.Base().Key()]
+}
+
+// Events returns the placed base-event keys, sorted.
+func (d *Directory) Events() []string {
+	out := make([]string, 0, len(d.sites))
+	for k := range d.sites {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hooks are out-of-band instrumentation callbacks, invoked directly
+// (no simulated messages, so metrics never distort message counts).
+type Hooks struct {
+	// OnFire is called at each event occurrence.
+	OnFire func(sym algebra.Symbol, at int64, when simnet.Time)
+	// OnDecision is called for every accept/reject decision.
+	OnDecision func(d DecisionMsg)
+}
+
+func (h *Hooks) fire(sym algebra.Symbol, at int64, when simnet.Time) {
+	if h != nil && h.OnFire != nil {
+		h.OnFire(sym, at, when)
+	}
+}
+
+func (h *Hooks) decision(d DecisionMsg) {
+	if h != nil && h.OnDecision != nil {
+		h.OnDecision(d)
+	}
+}

@@ -1,0 +1,28 @@
+// Package algebra implements the event algebra ℰ of Singh (ICDE 1996),
+// "Synthesizing Distributed Constrained Events from Transactional
+// Workflow Specifications".
+//
+// Event symbols are the atoms of the language; each symbol e has a
+// complement ē (written ~e in text syntax) meaning "e will never
+// occur".  Expressions are built from atoms, 0 (the empty set of
+// traces), ⊤ (all traces, written T), sequencing E1·E2 (written
+// E1 . E2), choice E1+E2, and conjunction E1|E2.
+//
+// The semantics of an expression is the set of traces that satisfy it
+// (paper §3.2).  Traces are finite sequences of event symbols in which
+// no event occurs twice and no event occurs together with its
+// complement.  The package provides:
+//
+//   - canonical, immutable expression trees (construction normalizes),
+//   - trace satisfaction and universe enumeration for small alphabets,
+//   - the CNF transformation required by the residuation rules
+//     (no + or | in the scope of ·),
+//   - symbolic residuation E/e (paper §3.4, Residuation 1–8) together
+//     with a model-theoretic reference implementation used to verify
+//     Theorem 1 (soundness) in the tests,
+//   - a parser and printer for the text syntax.
+//
+// Expressions are pure values: all operations return new expressions
+// and never mutate their inputs, so expressions are safe to share
+// across goroutines.
+package algebra

@@ -1,0 +1,156 @@
+package algebra
+
+// Nullable reports whether the empty trace satisfies the expression
+// (λ ⊨ E).  Combined with residuation's stepwise exactness
+// (u ⊨ E iff λ ⊨ E/u₁/…/uₙ, verified by the Theorem 1 tests), it makes
+// the residuation automaton a decision procedure for satisfaction.
+func Nullable(e *Expr) bool {
+	switch e.Kind() {
+	case KZero:
+		return false
+	case KTop:
+		return true
+	case KAtom:
+		return false
+	case KSeq:
+		// λ = vw forces v = w = λ.
+		for _, p := range e.Subs() {
+			if !Nullable(p) {
+				return false
+			}
+		}
+		return true
+	case KChoice:
+		for _, a := range e.Subs() {
+			if Nullable(a) {
+				return true
+			}
+		}
+		return false
+	case KConj:
+		for _, c := range e.Subs() {
+			if !Nullable(c) {
+				return false
+			}
+		}
+		return true
+	}
+	panic("algebra: invalid expression kind in Nullable")
+}
+
+// Satisfiable reports whether any trace over the expression's own
+// alphabet satisfies it — equivalently, whether the residuation
+// automaton can reach a nullable state along a valid trace.
+func Satisfiable(e *Expr) bool {
+	type frame struct {
+		expr *Expr
+		used string
+	}
+	start := CNF(e)
+	gamma := e.Gamma()
+	seen := map[string]bool{}
+	stack := []frame{{expr: start, used: ""}}
+	usedKey := func(used map[string]bool) string {
+		out := ""
+		for _, s := range gamma.Symbols() {
+			if used[s.Key()] {
+				out += s.Key() + ","
+			}
+		}
+		return out
+	}
+	usedSets := []map[string]bool{{}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		used := usedSets[len(usedSets)-1]
+		stack = stack[:len(stack)-1]
+		usedSets = usedSets[:len(usedSets)-1]
+		if f.expr.IsZero() {
+			continue
+		}
+		if Nullable(f.expr) {
+			return true
+		}
+		key := f.expr.Key() + "|" + f.used
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		for _, s := range gamma.Symbols() {
+			if used[s.Key()] || used[s.Complement().Key()] {
+				continue
+			}
+			next := Residuate(f.expr, s)
+			nu := make(map[string]bool, len(used)+1)
+			for k := range used {
+				nu[k] = true
+			}
+			nu[s.Key()] = true
+			stack = append(stack, frame{expr: next, used: usedKey(nu)})
+			usedSets = append(usedSets, nu)
+		}
+	}
+	return false
+}
+
+// Equivalent decides whether two expressions are satisfied by exactly
+// the same traces of U_ℰ.  It explores the product of the two
+// residuation automata over the joint alphabet, tracking which events
+// the path has already consumed (traces never repeat an event or mix
+// it with its complement), and reports inequivalence as soon as some
+// reachable state pair disagrees on λ-satisfaction.
+//
+// Events outside both alphabets neither change any residual nor affect
+// satisfaction, so restricting to the joint alphabet is complete.  The
+// procedure is exponential in the number of events mentioned —
+// dependencies in workflow specifications are small — and exact, unlike
+// sampling over trace universes.
+func Equivalent(a, b *Expr) bool {
+	gamma := a.Gamma().Union(b.Gamma())
+	syms := gamma.Symbols()
+
+	type state struct {
+		a, b *Expr
+		used map[string]bool
+	}
+	key := func(s state) string {
+		out := s.a.Key() + "#" + s.b.Key() + "|"
+		for _, sym := range syms {
+			if s.used[sym.Key()] {
+				out += sym.Key() + ","
+			}
+		}
+		return out
+	}
+	start := state{a: CNF(a), b: CNF(b), used: map[string]bool{}}
+	seen := map[string]bool{}
+	stack := []state{start}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		k := key(s)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if Nullable(s.a) != Nullable(s.b) {
+			return false
+		}
+		for _, sym := range syms {
+			if s.used[sym.Key()] || s.used[sym.Complement().Key()] {
+				continue
+			}
+			nu := make(map[string]bool, len(s.used)+1)
+			for uk := range s.used {
+				nu[uk] = true
+			}
+			nu[sym.Key()] = true
+			stack = append(stack, state{
+				a:    Residuate(s.a, sym),
+				b:    Residuate(s.b, sym),
+				used: nu,
+			})
+		}
+	}
+	return true
+}

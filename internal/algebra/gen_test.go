@@ -1,0 +1,54 @@
+package algebra
+
+import (
+	"math/rand"
+)
+
+// genExpr builds a random expression over the given base event names,
+// used by the property tests.  Depth bounds the tree height.
+func genExpr(r *rand.Rand, names []string, depth int) *Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(6) {
+		case 0:
+			return Zero()
+		case 1:
+			return Top()
+		default:
+			s := Sym(names[r.Intn(len(names))])
+			if r.Intn(2) == 0 {
+				s = s.Complement()
+			}
+			return At(s)
+		}
+	}
+	n := 2 + r.Intn(2)
+	subs := make([]*Expr, n)
+	for i := range subs {
+		subs[i] = genExpr(r, names, depth-1)
+	}
+	switch r.Intn(3) {
+	case 0:
+		return Seq(subs...)
+	case 1:
+		return Choice(subs...)
+	default:
+		return Conj(subs...)
+	}
+}
+
+// genTrace builds a random valid trace over the names.
+func genTrace(r *rand.Rand, names []string) Trace {
+	perm := r.Perm(len(names))
+	var tr Trace
+	for _, i := range perm {
+		switch r.Intn(3) {
+		case 0:
+			tr = append(tr, Sym(names[i]))
+		case 1:
+			tr = append(tr, Sym(names[i]).Complement())
+		case 2:
+			// omit the event
+		}
+	}
+	return tr
+}

@@ -1,0 +1,331 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads an expression of the event algebra in text syntax and
+// returns its normalized form.
+//
+// Grammar (precedence · > | > +, all left-associative):
+//
+//	choice := conj   { '+' conj }
+//	conj   := seq    { '|' seq }
+//	seq    := unary  { '.' unary }
+//	unary  := '~' unary | '0' | 'T' | '(' choice ')' | atom
+//	atom   := ident [ '[' term {',' term} ']' ]
+//	term   := '?' ident | ident          (?x is a variable)
+//	ident  := letter { letter | digit | '_' }
+//
+// '~' applied to a compound expression is rejected: the algebra only
+// complements event symbols, not expressions (Syntax 1).
+func Parse(src string) (*Expr, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseChoice()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %q after expression", p.tok.text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse, panicking on error.  Intended for constant
+// dependencies in tests and examples.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokZero   // 0
+	tokTop    // T
+	tokTilde  // ~
+	tokDot    // .
+	tokPlus   // +
+	tokBar    // |
+	tokLParen // (
+	tokRParen // )
+	tokLBrack // [
+	tokRBrack // ]
+	tokComma  // ,
+	tokQuest  // ?
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	punct := map[byte]tokKind{
+		'~': tokTilde, '.': tokDot, '+': tokPlus, '|': tokBar,
+		'(': tokLParen, ')': tokRParen, '[': tokLBrack, ']': tokRBrack,
+		',': tokComma, '?': tokQuest,
+	}
+	if k, ok := punct[c]; ok {
+		l.pos++
+		return token{kind: k, text: string(c), pos: start}, nil
+	}
+	if '0' <= c && c <= '9' {
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if text == "0" {
+			return token{kind: tokZero, text: text, pos: start}, nil
+		}
+		// Numeric tokens serve as constant parameter terms.
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	}
+	if isIdentStart(c) {
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if text == "T" {
+			return token{kind: tokTop, text: text, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	}
+	return token{}, fmt.Errorf("algebra: invalid character %q at offset %d", c, start)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("algebra: parse error at offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseChoice() (*Expr, error) {
+	first, err := p.parseConj()
+	if err != nil {
+		return nil, err
+	}
+	alts := []*Expr{first}
+	for p.tok.kind == tokPlus {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		next, err := p.parseConj()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, next)
+	}
+	return Choice(alts...), nil
+}
+
+func (p *parser) parseConj() (*Expr, error) {
+	first, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	cs := []*Expr{first}
+	for p.tok.kind == tokBar {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		next, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, next)
+	}
+	return Conj(cs...), nil
+}
+
+func (p *parser) parseSeq() (*Expr, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []*Expr{first}
+	for p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		next, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	return Seq(parts...), nil
+}
+
+func (p *parser) parseUnary() (*Expr, error) {
+	switch p.tok.kind {
+	case tokTilde:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokIdent {
+			return nil, p.errorf("'~' must be applied to an event symbol, got %q", p.tok.text)
+		}
+		sym, err := p.parseSymbol()
+		if err != nil {
+			return nil, err
+		}
+		return At(sym.Complement()), nil
+	case tokZero:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Zero(), nil
+	case tokTop:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Top(), nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseChoice()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errorf("expected ')', got %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case tokIdent:
+		sym, err := p.parseSymbol()
+		if err != nil {
+			return nil, err
+		}
+		return At(sym), nil
+	case tokEOF:
+		return nil, p.errorf("unexpected end of expression")
+	default:
+		return nil, p.errorf("unexpected %q", p.tok.text)
+	}
+}
+
+// parseSymbol parses ident['[' terms ']'] with the current token being
+// the identifier.
+func (p *parser) parseSymbol() (Symbol, error) {
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return Symbol{}, err
+	}
+	if p.tok.kind != tokLBrack {
+		return Sym(name), nil
+	}
+	if err := p.advance(); err != nil {
+		return Symbol{}, err
+	}
+	var terms []Term
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return Symbol{}, err
+		}
+		terms = append(terms, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return Symbol{}, err
+			}
+			continue
+		}
+		break
+	}
+	if p.tok.kind != tokRBrack {
+		return Symbol{}, p.errorf("expected ']', got %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return Symbol{}, err
+	}
+	return SymP(name, terms...), nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	if p.tok.kind == tokQuest {
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		if p.tok.kind != tokIdent {
+			return Term{}, p.errorf("expected variable name after '?', got %q", p.tok.text)
+		}
+		v := Var(p.tok.text)
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		return v, nil
+	}
+	if p.tok.kind != tokIdent && p.tok.kind != tokZero {
+		return Term{}, p.errorf("expected parameter term, got %q", p.tok.text)
+	}
+	c := Const(p.tok.text)
+	if err := p.advance(); err != nil {
+		return Term{}, err
+	}
+	return c, nil
+}
+
+// ParseSymbol parses a single event symbol in text syntax, e.g.
+// "~commit_buy" or "enter[?x]".
+func ParseSymbol(src string) (Symbol, error) {
+	src = strings.TrimSpace(src)
+	e, err := Parse(src)
+	if err != nil {
+		return Symbol{}, err
+	}
+	if e.Kind() != KAtom {
+		return Symbol{}, fmt.Errorf("algebra: %q is not a single event symbol", src)
+	}
+	return e.Symbol(), nil
+}

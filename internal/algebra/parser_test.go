@@ -1,0 +1,99 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want *Expr
+	}{
+		{"0", Zero()},
+		{"T", Top()},
+		{"e", E("e")},
+		{"~e", NotE("e")},
+		{"e . f", Seq(E("e"), E("f"))},
+		{"e + f", Choice(E("e"), E("f"))},
+		{"e | f", Conj(E("e"), E("f"))},
+		{"~e + f", Choice(NotE("e"), E("f"))},
+		{"~e + ~f + e . f", Choice(NotE("e"), NotE("f"), Seq(E("e"), E("f")))},
+		{"(e + f) . g", Seq(Choice(E("e"), E("f")), E("g"))},
+		{"e | f + g", Choice(Conj(E("e"), E("f")), E("g"))},
+		{"e . f | g", Conj(Seq(E("e"), E("f")), E("g"))},
+		{"  e  .  f  ", Seq(E("e"), E("f"))},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Parse(%q): got %v want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseParametrized(t *testing.T) {
+	got := MustParse("enter[?x] . exit[?x] + ~req[c1]")
+	want := Choice(
+		Seq(At(SymP("enter", Var("x"))), At(SymP("exit", Var("x")))),
+		At(SymP("req", Const("c1")).Complement()),
+	)
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"e +",
+		"+ e",
+		"e . . f",
+		"(e + f",
+		"e)",
+		"~(e + f)", // complement of a compound is not in the syntax
+		"~0",
+		"e[", "e[]", "e[?]",
+		"e $ f",
+		"e f",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error, got none", src)
+		}
+	}
+}
+
+func TestParseSymbol(t *testing.T) {
+	s, err := ParseSymbol("~commit_buy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(Sym("commit_buy").Complement()) {
+		t.Fatalf("got %v", s)
+	}
+	if _, err := ParseSymbol("e + f"); err == nil {
+		t.Fatal("compound expression must not parse as a symbol")
+	}
+}
+
+// TestPrintParseRoundTrip: every expression's canonical form parses
+// back to itself (randomized).
+func TestPrintParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	names := []string{"e", "f", "g", "h"}
+	for i := 0; i < 500; i++ {
+		e := genExpr(r, names, 4)
+		back, err := Parse(e.Key())
+		if err != nil {
+			t.Fatalf("iteration %d: re-parsing %q: %v", i, e.Key(), err)
+		}
+		if !back.Equal(e) {
+			t.Fatalf("iteration %d: %q re-parsed as %q", i, e.Key(), back.Key())
+		}
+	}
+}

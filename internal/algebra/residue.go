@@ -1,0 +1,158 @@
+package algebra
+
+import "fmt"
+
+// Residuate computes the residuation E/e symbolically (paper §3.4,
+// Residuation 1–8).  E/e is the remnant of E after event e occurs: the
+// weakest expression whose satisfaction by the remainder of the
+// computation guarantees that the whole computation satisfies E
+// (Semantics 6).
+//
+// The input is first brought into CNF, which the rewrite rules
+// require.  The rules, specialized to normalized sequences of atoms:
+//
+//	0/e = 0                      (Residuation 1)
+//	⊤/e = ⊤                      (Residuation 2)
+//	S/e = 0        if ē ∈ Γ_S    (Residuation 8: e occurred, so ē never will)
+//	S/e = S        if e,ē ∉ Γ_S  (Residuation 6: independent)
+//	(e·E)/e = E                  (Residuation 3: head consumed)
+//	(e'·E)/e = 0   if e ∈ Γ_E    (Residuation 7: e cannot recur later)
+//	(E1+E2)/e = E1/e + E2/e      (Residuation 4)
+//	(E1|E2)/e = E1/e | E2/e      (Residuation 5)
+//
+// The soundness of this rule set with respect to the model-theoretic
+// Semantics 6 is the paper's Theorem 1, verified in the tests against
+// ResiduateSemantic over exhaustive small universes.
+func Residuate(e *Expr, by Symbol) *Expr {
+	return residuateCNF(CNF(e), by)
+}
+
+func residuateCNF(e *Expr, by Symbol) *Expr {
+	switch e.Kind() {
+	case KZero:
+		return zeroExpr
+	case KTop:
+		return topExpr
+	case KAtom:
+		switch {
+		case e.sym.Equal(by):
+			return topExpr // e just happened: atom satisfied forever after
+		case e.sym.Equal(by.Complement()):
+			return zeroExpr // ē can never occur once e has
+		default:
+			return e // independent event
+		}
+	case KChoice:
+		alts := make([]*Expr, len(e.subs))
+		for i, a := range e.subs {
+			alts[i] = residuateCNF(a, by)
+		}
+		return Choice(alts...)
+	case KConj:
+		cs := make([]*Expr, len(e.subs))
+		for i, c := range e.subs {
+			cs[i] = residuateCNF(c, by)
+		}
+		return Conj(cs...)
+	case KSeq:
+		return residuateSeq(e.subs, by)
+	}
+	panic(fmt.Sprintf("algebra: invalid kind %v in residuation", e.Kind()))
+}
+
+// residuateSeq residuates a normalized sequence of atoms.
+func residuateSeq(parts []*Expr, by Symbol) *Expr {
+	mentionsBy := false
+	for _, p := range parts {
+		if p.sym.Equal(by.Complement()) {
+			return zeroExpr // Residuation 8
+		}
+		if p.sym.Equal(by) {
+			mentionsBy = true
+		}
+	}
+	if !mentionsBy {
+		return Seq(parts...) // Residuation 6 (re-normalizes; parts shared)
+	}
+	if parts[0].sym.Equal(by) {
+		return Seq(parts[1:]...) // Residuation 3
+	}
+	return zeroExpr // Residuation 7: by occurs later in the sequence
+}
+
+// ResiduateTrace folds Residuate over the events of a trace:
+// ((E/u1)/u2)/… .  The scheduler's state after the trace u when
+// enforcing dependency E (paper §3.3).
+func ResiduateTrace(e *Expr, u Trace) *Expr {
+	out := CNF(e)
+	for _, s := range u {
+		out = residuateCNF(out, s)
+	}
+	return out
+}
+
+// ResiduateSemantic is the model-theoretic reference implementation of
+// Semantics 6, restricted to a finite alphabet: it returns the set of
+// traces v of the universe over the alphabet such that for every trace
+// u of that universe satisfying the atom `by`, if uv is a valid trace
+// then uv ⊨ E.
+//
+// It is exponentially expensive and exists to verify Theorem 1 in the
+// tests; production code uses Residuate.
+func ResiduateSemantic(e *Expr, by Symbol, a Alphabet) []Trace {
+	universe := Universe(a)
+	var prefixes []Trace
+	byAtom := At(by)
+	for _, u := range universe {
+		if u.Satisfies(byAtom) {
+			prefixes = append(prefixes, u)
+		}
+	}
+	var out []Trace
+	for _, v := range universe {
+		ok := true
+		for _, u := range prefixes {
+			uv := u.Concat(v)
+			if !uv.Valid() {
+				continue // uv ∉ U_ℰ: vacuously fine
+			}
+			if !uv.Satisfies(e) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Reachable computes every expression reachable from e by residuating
+// with symbols of its alphabet, i.e. the state space of the
+// dependency-centric scheduler for this dependency (Figure 2 of the
+// paper).  The result maps each reachable state's canonical key to the
+// transitions out of it.
+func Reachable(e *Expr) map[string]map[string]*Expr {
+	start := CNF(e)
+	states := map[string]map[string]*Expr{}
+	queue := []*Expr{start}
+	gamma := e.Gamma()
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if _, done := states[cur.Key()]; done {
+			continue
+		}
+		edges := map[string]*Expr{}
+		states[cur.Key()] = edges
+		for _, s := range gamma.Symbols() {
+			next := residuateCNF(cur, s)
+			edges[s.Key()] = next
+			if _, done := states[next.Key()]; !done {
+				queue = append(queue, next)
+			}
+		}
+	}
+	return states
+}

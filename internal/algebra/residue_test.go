@@ -1,0 +1,163 @@
+package algebra
+
+import "testing"
+
+// TestExample6 reproduces Example 6 of the paper:
+// (ē+f̄+e·f)/e = f̄+f  and  (ē+f)/f̄ = ē.
+func TestExample6(t *testing.T) {
+	dLess := MustParse("~e + ~f + e . f")
+	got := Residuate(dLess, Sym("e"))
+	want := MustParse("~f + f")
+	if !got.Equal(want) {
+		t.Errorf("D_</e: got %v want %v", got, want)
+	}
+
+	dArrow := MustParse("~e + f")
+	got = Residuate(dArrow, Sym("f").Complement())
+	want = MustParse("~e")
+	if !got.Equal(want) {
+		t.Errorf("D_→/f̄: got %v want %v", got, want)
+	}
+}
+
+// TestFigure2DLess verifies every transition in the left half of
+// Figure 2: the scheduler's state machine for D_< = ē+f̄+e·f.
+func TestFigure2DLess(t *testing.T) {
+	d := MustParse("~e + ~f + e . f")
+	steps := []struct {
+		from string
+		by   string
+		to   string
+	}{
+		// From the initial state:
+		{"~e + ~f + e . f", "~e", "T"},
+		{"~e + ~f + e . f", "~f", "T"},
+		{"~e + ~f + e . f", "e", "~f + f"},
+		{"~e + ~f + e . f", "f", "~e"},
+		// After e: f or f̄ both lead to satisfaction.
+		{"~f + f", "f", "T"},
+		{"~f + f", "~f", "T"},
+		// After f: only ē remains.
+		{"~e", "~e", "T"},
+		{"~e", "e", "0"},
+	}
+	for _, s := range steps {
+		from := MustParse(s.from)
+		by, err := ParseSymbol(s.by)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Residuate(from, by)
+		if got.Key() != MustParse(s.to).Key() {
+			t.Errorf("(%s)/%s: got %v want %v", s.from, s.by, got, s.to)
+		}
+	}
+	_ = d
+}
+
+// TestFigure2DArrow verifies the right half of Figure 2 for
+// D_→ = ē+f.
+func TestFigure2DArrow(t *testing.T) {
+	steps := []struct{ from, by, to string }{
+		{"~e + f", "~e", "T"},
+		{"~e + f", "f", "T"},
+		{"~e + f", "e", "f"},
+		{"~e + f", "~f", "~e"},
+		{"f", "f", "T"},
+		{"f", "~f", "0"},
+		{"~e", "~e", "T"},
+		{"~e", "e", "0"},
+	}
+	for _, s := range steps {
+		from := MustParse(s.from)
+		by, err := ParseSymbol(s.by)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Residuate(from, by)
+		if got.Key() != MustParse(s.to).Key() {
+			t.Errorf("(%s)/%s: got %v want %v", s.from, s.by, got, s.to)
+		}
+	}
+}
+
+func TestResiduateTraceFolds(t *testing.T) {
+	d := MustParse("~e + ~f + e . f")
+	if got := ResiduateTrace(d, T("e", "f")); !got.IsTop() {
+		t.Errorf("D_< after <e f>: got %v want T", got)
+	}
+	if got := ResiduateTrace(d, T("f", "e")); !got.IsZero() {
+		t.Errorf("D_< after <f e>: got %v want 0", got)
+	}
+	if got := ResiduateTrace(d, T("~e")); !got.IsTop() {
+		t.Errorf("D_< after <~e>: got %v want T", got)
+	}
+}
+
+func TestResiduateIndependentEvent(t *testing.T) {
+	d := MustParse("~e + f")
+	got := Residuate(d, Sym("g"))
+	if !got.Equal(d) {
+		t.Errorf("residuating by an unmentioned event must not change the state: got %v", got)
+	}
+}
+
+func TestResiduateSequenceRules(t *testing.T) {
+	cases := []struct{ expr, by, want string }{
+		{"e . f", "e", "f"},     // rule 3
+		{"e . f", "f", "0"},     // rule 7: f later in the sequence
+		{"e . f", "~e", "0"},    // rule 8: ē kills sequences mentioning e
+		{"e . f", "g", "e . f"}, // rule 6
+		{"e . f . g", "e", "f . g"},
+		{"e", "e", "T"},
+		{"~e", "e", "0"},
+		{"~e", "~e", "T"},
+	}
+	for _, c := range cases {
+		by, err := ParseSymbol(c.by)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Residuate(MustParse(c.expr), by)
+		if got.Key() != MustParse(c.want).Key() {
+			t.Errorf("(%s)/%s: got %v want %v", c.expr, c.by, got, c.want)
+		}
+	}
+}
+
+// TestReachableDLess checks the reachable state space of D_< matches
+// Figure 2: exactly the states {D_<, f+f̄, ē, ⊤, 0}.
+func TestReachableDLess(t *testing.T) {
+	d := MustParse("~e + ~f + e . f")
+	states := Reachable(d)
+	want := map[string]bool{
+		d.Key():                   true,
+		MustParse("~f + f").Key(): true,
+		MustParse("~e").Key():     true,
+		"T":                       true,
+		"0":                       true,
+	}
+	if len(states) != len(want) {
+		keys := make([]string, 0, len(states))
+		for k := range states {
+			keys = append(keys, k)
+		}
+		t.Fatalf("state count: got %d (%v) want %d", len(states), keys, len(want))
+	}
+	for k := range want {
+		if _, ok := states[k]; !ok {
+			t.Errorf("missing state %q", k)
+		}
+	}
+	// ⊤ and 0 are absorbing.
+	for sym, next := range states["T"] {
+		if !next.IsTop() {
+			t.Errorf("T/%s = %v, want T", sym, next)
+		}
+	}
+	for sym, next := range states["0"] {
+		if !next.IsZero() {
+			t.Errorf("0/%s = %v, want 0", sym, next)
+		}
+	}
+}

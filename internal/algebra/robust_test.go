@@ -1,0 +1,86 @@
+package algebra
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanics: arbitrary byte soup must produce errors, not
+// panics.
+func TestParseNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	alphabet := "ef~+|.()[]?,T0 \tzq123$%"
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(24)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("Parse(%q) panicked: %v", src, rec)
+				}
+			}()
+			if e, err := Parse(src); err == nil {
+				// Whatever parses must round-trip.
+				if _, err2 := Parse(e.Key()); err2 != nil {
+					t.Fatalf("canonical form of %q unparseable: %v", src, err2)
+				}
+			}
+		}()
+	}
+}
+
+// TestDeepExpressions: construction, CNF, and residuation cope with
+// deep and wide trees.
+func TestDeepExpressions(t *testing.T) {
+	// Deep alternation of operators over many distinct events.
+	cur := E("e000")
+	for i := 1; i < 60; i++ {
+		atom := At(Sym(rune2name(i)))
+		switch i % 3 {
+		case 0:
+			cur = Choice(cur, atom)
+		case 1:
+			cur = Conj(cur, Choice(atom, At(Sym(rune2name(i)).Complement())))
+		default:
+			cur = Choice(cur, Seq(atom, At(Sym(rune2name(i)+"x"))))
+		}
+	}
+	if cur.Size() == 0 {
+		t.Fatal("expression collapsed unexpectedly")
+	}
+	c := CNF(cur)
+	if !IsCNF(c) {
+		t.Fatal("CNF failed on deep expression")
+	}
+	res := Residuate(cur, Sym(rune2name(7)))
+	if res == nil {
+		t.Fatal("residuation failed")
+	}
+	if _, err := Parse(cur.Key()); err != nil {
+		t.Fatalf("deep key unparseable: %v", err)
+	}
+}
+
+func rune2name(i int) string {
+	return "ev" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+// TestWideChoice: hundreds of alternatives normalize and residuate.
+func TestWideChoice(t *testing.T) {
+	alts := make([]*Expr, 0, 300)
+	for i := 0; i < 300; i++ {
+		alts = append(alts, At(Sym(rune2name(i))))
+	}
+	wide := Choice(alts...)
+	if len(wide.Subs()) == 0 {
+		t.Fatal("wide choice collapsed")
+	}
+	if got := Residuate(wide, Sym(rune2name(5))); !got.IsTop() {
+		t.Fatalf("residuating a member of a choice of atoms must give T, got %s", got.Kind())
+	}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun: every experiment completes and produces a
+// non-trivial table; the E*/F*/T*/L* checks must all report a match.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run()
+			if tab.ID != e.ID {
+				t.Errorf("table id %q for experiment %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			out := tab.Format()
+			if !strings.Contains(out, e.ID+":") {
+				t.Errorf("format lacks header: %q", out[:40])
+			}
+		})
+	}
+}
+
+// TestFormalExperimentsAllMatch: the paper-reproduction tables never
+// contain a failed match mark in their match/holds columns.
+func TestFormalExperimentsAllMatch(t *testing.T) {
+	for _, id := range []string{"E6", "E8", "E9", "T2T4", "L5", "T6"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		tab := e.Run()
+		col := len(tab.Header) - 1
+		for _, row := range tab.Rows {
+			if row[col] != "Y" {
+				t.Errorf("%s: row %v does not match the paper", id, row)
+			}
+		}
+	}
+}
+
+// TestT1NoMismatches: the soundness table reports zero mismatches.
+func TestT1NoMismatches(t *testing.T) {
+	tab := T1()
+	if tab.Rows[0][2] != "0" {
+		t.Fatalf("T1 mismatches: %v", tab.Rows[0])
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id must not resolve")
+	}
+	if e, ok := ByID("e9"); !ok || e.ID != "E9" {
+		t.Fatal("lookup must be case-insensitive")
+	}
+}

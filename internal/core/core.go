@@ -1,0 +1,35 @@
+// Package core implements the paper's primary contribution: the
+// synthesis of guards on events from declarative dependency
+// specifications (Singh, ICDE 1996, §4).
+//
+// A dependency D (an expression of the event algebra ℰ) constrains the
+// traces a scheduler may realize.  For every event e, Definition 2 of
+// the paper derives G(D, e) — the weakest temporal condition under
+// which e may occur without compromising D:
+//
+//	G(D,e) = (◇(D/e) | ⋀_{f∈Γ_{D^e}} ¬f) + Σ_{f∈Γ_{D^e}} (□f | G(D/f, e))
+//
+// where Γ_{D^e} = Γ_D − {e, ē}.  The first term covers e occurring
+// before any other event D mentions; each remaining term covers some
+// other event f having occurred first, recursing on the residual D/f.
+//
+// A workflow (a set of dependencies) compiles to a guard table: the
+// guard of an event is the conjunction of its guards under every
+// dependency that mentions the event.  Localizing the guard on the
+// event is what makes fully distributed, event-centric scheduling
+// possible — there is no central dependency store at run time.
+//
+// The package also implements:
+//
+//   - the independence decompositions of Theorems 2 and 4 (guards of a
+//     union/conjunction of alphabet-disjoint dependencies are the
+//     union/conjunction of the guards), used to keep synthesis cheap
+//     on workflows with many independent dependencies — the P3
+//     ablation benchmark measures their effect,
+//   - Π(D), the set of residuation paths ending in ⊤ (Definition 3),
+//     and the alternative guard characterization of Lemma 5, used in
+//     the tests to cross-validate Definition 2,
+//   - the generation relation of Definition 4 and with it the
+//     machinery to verify Theorem 6 (a workflow generates exactly the
+//     traces that satisfy all its dependencies).
+package core

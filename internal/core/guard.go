@@ -1,0 +1,171 @@
+package core
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/temporal"
+)
+
+// SynthStats reports the work done by a Synthesizer, for the P1/P3
+// benchmarks.
+type SynthStats struct {
+	// Calls counts top-level and recursive guard computations that
+	// missed the cache.
+	Calls int
+	// CacheHits counts memoized computations.
+	CacheHits int
+	// Decompositions counts applications of Theorem 2 or Theorem 4.
+	Decompositions int
+}
+
+// Synthesizer computes guards with memoization.  The zero value is not
+// usable; call NewSynthesizer.  A Synthesizer is not safe for
+// concurrent use.
+type Synthesizer struct {
+	cache map[string]temporal.Formula
+	// decompose enables the Theorem 2/4 independence decompositions.
+	decompose bool
+	stats     SynthStats
+}
+
+// NewSynthesizer returns a Synthesizer with the Theorem 2/4
+// decompositions enabled.
+func NewSynthesizer() *Synthesizer {
+	return &Synthesizer{cache: make(map[string]temporal.Formula), decompose: true}
+}
+
+// NewPlainSynthesizer returns a Synthesizer that follows Definition 2
+// literally, without the independence decompositions (the ablation
+// baseline for benchmark P3).
+func NewPlainSynthesizer() *Synthesizer {
+	return &Synthesizer{cache: make(map[string]temporal.Formula)}
+}
+
+// Stats returns the accumulated statistics.
+func (sy *Synthesizer) Stats() SynthStats { return sy.stats }
+
+// Guard computes G(D, e) per Definition 2.  The result is a guard in
+// sum-of-products normal form, simplified to the paper's closed forms
+// where they exist.
+func (sy *Synthesizer) Guard(d *algebra.Expr, e algebra.Symbol) temporal.Formula {
+	return sy.guard(algebra.CNF(d), e)
+}
+
+func (sy *Synthesizer) guard(d *algebra.Expr, e algebra.Symbol) temporal.Formula {
+	key := d.Key() + " @ " + e.Key()
+	if g, ok := sy.cache[key]; ok {
+		sy.stats.CacheHits++
+		return g
+	}
+	sy.stats.Calls++
+
+	var g temporal.Formula
+	if sy.decompose {
+		if dec, ok := sy.tryDecompose(d, e); ok {
+			g = dec
+			sy.cache[key] = g
+			return g
+		}
+	}
+
+	// Definition 2, literally.
+	gammaDe := d.Gamma().WithoutEvent(e)
+
+	// First term: e occurs before any other event of D.
+	terms := make([]temporal.Formula, 0, len(gammaDe)+1)
+	first := []temporal.Formula{temporal.DiamondExpr(algebra.Residuate(d, e))}
+	for _, f := range gammaDe.Symbols() {
+		first = append(first, temporal.Lit(temporal.NotYet(f)))
+	}
+	terms = append(terms, temporal.And(first...))
+
+	// Remaining terms: some f occurred first.
+	for _, f := range gammaDe.Symbols() {
+		sub := sy.guard(algebra.Residuate(d, f), e)
+		terms = append(terms, temporal.And(temporal.Lit(temporal.Occurred(f)), sub))
+	}
+
+	g = temporal.Or(terms...)
+	sy.cache[key] = g
+	return g
+}
+
+// tryDecompose applies Theorem 2 (for +) or Theorem 4 (for |): when
+// the top-level operands of D split into groups with pairwise disjoint
+// alphabets, the guard distributes over the groups.  Returns ok ==
+// false when D is not a top-level + or | or when all operands share
+// one alphabet component.
+func (sy *Synthesizer) tryDecompose(d *algebra.Expr, e algebra.Symbol) (temporal.Formula, bool) {
+	kind := d.Kind()
+	if kind != algebra.KChoice && kind != algebra.KConj {
+		return temporal.Formula{}, false
+	}
+	groups := alphabetComponents(d.Subs())
+	if len(groups) < 2 {
+		return temporal.Formula{}, false
+	}
+	sy.stats.Decompositions++
+	parts := make([]temporal.Formula, len(groups))
+	for i, grp := range groups {
+		var sub *algebra.Expr
+		if kind == algebra.KChoice {
+			sub = algebra.Choice(grp...)
+		} else {
+			sub = algebra.Conj(grp...)
+		}
+		parts[i] = sy.guard(sub, e)
+	}
+	if kind == algebra.KChoice {
+		return temporal.Or(parts...), true
+	}
+	return temporal.And(parts...), true
+}
+
+// alphabetComponents partitions expressions into connected components
+// under the "alphabets intersect" relation.
+func alphabetComponents(exprs []*algebra.Expr) [][]*algebra.Expr {
+	n := len(exprs)
+	gammas := make([]algebra.Alphabet, n)
+	for i, e := range exprs {
+		gammas[i] = e.Gamma()
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if gammas[i].Intersects(gammas[j]) {
+				union(i, j)
+			}
+		}
+	}
+	byRoot := map[int][]*algebra.Expr{}
+	var order []int
+	for i, e := range exprs {
+		r := find(i)
+		if _, seen := byRoot[r]; !seen {
+			order = append(order, r)
+		}
+		byRoot[r] = append(byRoot[r], e)
+	}
+	out := make([][]*algebra.Expr, 0, len(order))
+	for _, r := range order {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// Guard is a convenience wrapper: a one-shot G(D, e) with a fresh
+// Synthesizer.
+func Guard(d *algebra.Expr, e algebra.Symbol) temporal.Formula {
+	return NewSynthesizer().Guard(d, e)
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/temporal"
+)
+
+func sym(k string) algebra.Symbol {
+	s, err := algebra.ParseSymbol(k)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestExample9 reproduces all eight guard computations of Example 9 /
+// Figure 4.
+func TestExample9(t *testing.T) {
+	e, eb := sym("e"), sym("~e")
+	f, fb := sym("f"), sym("~f")
+	dLess := algebra.MustParse("~e + ~f + e . f")
+
+	cases := []struct {
+		name string
+		d    *algebra.Expr
+		ev   algebra.Symbol
+		want temporal.Formula
+	}{
+		{"G(T,e)=T", algebra.Top(), e, temporal.TrueF()},
+		{"G(0,e)=0", algebra.Zero(), e, temporal.FalseF()},
+		{"G(e,e)=T", algebra.E("e"), e, temporal.TrueF()},
+		{"G(~e,e)=0", algebra.NotE("e"), e, temporal.FalseF()},
+		{"G(D<,~e)=T", dLess, eb, temporal.TrueF()},
+		{"G(D<,e)=!f", dLess, e, temporal.Lit(temporal.NotYet(f))},
+		{"G(D<,~f)=T", dLess, fb, temporal.TrueF()},
+		{"G(D<,f)=<>~e+[]e", dLess, f,
+			temporal.Or(temporal.Lit(temporal.Eventually(eb)), temporal.Lit(temporal.Occurred(e)))},
+	}
+	for _, c := range cases {
+		got := Guard(c.d, c.ev)
+		if !got.Equal(c.want) {
+			t.Errorf("%s: got %q want %q", c.name, got.Key(), c.want.Key())
+		}
+	}
+}
+
+// TestExample11Guards: D_→ and its transpose give e the guard ◇f and f
+// the guard ◇e.
+func TestExample11Guards(t *testing.T) {
+	e, f := sym("e"), sym("f")
+	dArrow := algebra.MustParse("~e + f")
+	dArrowT := algebra.MustParse("~f + e")
+
+	if got := Guard(dArrow, e); !got.Equal(temporal.Lit(temporal.Eventually(f))) {
+		t.Errorf("G(D_→, e): got %q want <>(f)", got.Key())
+	}
+	if got := Guard(dArrowT, f); !got.Equal(temporal.Lit(temporal.Eventually(e))) {
+		t.Errorf("G(D_→^T, f): got %q want <>(e)", got.Key())
+	}
+	// D_→ leaves f itself unconstrained.
+	if got := Guard(dArrow, f); !got.IsTrue() {
+		t.Errorf("G(D_→, f): got %q want T", got.Key())
+	}
+	// f̄ under D_→ needs ē guaranteed.
+	if got := Guard(dArrow, sym("~f")); !got.Equal(temporal.Lit(temporal.Eventually(sym("~e")))) {
+		t.Errorf("G(D_→, f̄): got %q want <>(~e)", got.Key())
+	}
+}
+
+// TestGuardSemantics: the synthesized guard, conjoined over mentioned
+// dependencies, generates exactly the satisfying maximal traces — for
+// the two running dependencies individually.
+func TestGuardSemantics(t *testing.T) {
+	for _, src := range []string{"~e + f", "~e + ~f + e . f", "e . f", "e + f", "e | f"} {
+		d := algebra.MustParse(src)
+		w := NewWorkflow(d)
+		c, err := Compile(w)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		gen := map[string]bool{}
+		for _, u := range GeneratedTraces(c) {
+			gen[u.String()] = true
+		}
+		for _, u := range algebra.MaximalUniverse(w.Alphabet()) {
+			want := u.Satisfies(d)
+			if gen[u.String()] != want {
+				t.Errorf("%q: trace %v generated=%v satisfies=%v", src, u, gen[u.String()], want)
+			}
+		}
+	}
+}
+
+// TestGuardUnmentionedDependency: a dependency not mentioning an event
+// still yields a semantically correct (if non-⊤) Definition 2 guard,
+// e.g. G(f, e) = ◇f.
+func TestGuardUnmentionedDependency(t *testing.T) {
+	got := Guard(algebra.E("f"), sym("e"))
+	if !got.Equal(temporal.Lit(temporal.Eventually(sym("f")))) {
+		t.Errorf("G(f, e): got %q want <>(f)", got.Key())
+	}
+}
+
+// TestSynthesizerMemoization: repeated synthesis hits the cache.
+func TestSynthesizerMemoization(t *testing.T) {
+	sy := NewSynthesizer()
+	d := algebra.MustParse("~e + ~f + e . f")
+	sy.Guard(d, sym("e"))
+	calls := sy.Stats().Calls
+	sy.Guard(d, sym("e"))
+	if sy.Stats().Calls != calls {
+		t.Error("second synthesis must be fully cached")
+	}
+	if sy.Stats().CacheHits == 0 {
+		t.Error("cache hits must be counted")
+	}
+}
+
+// TestIndependenceTheorem2: G(D+E, e) = G(D,e) + G(E,e) when the
+// alphabets are disjoint (Theorem 2) — both syntactically via the
+// decomposing synthesizer and semantically against the plain one.
+func TestIndependenceTheorem2(t *testing.T) {
+	pairs := [][2]string{
+		{"~e + f", "g"},
+		{"e . f", "g + ~h"},
+		{"~e + ~f + e . f", "g . h"},
+	}
+	for _, p := range pairs {
+		d1, d2 := algebra.MustParse(p[0]), algebra.MustParse(p[1])
+		sum := algebra.Choice(d1, d2)
+		uni := algebra.MaximalUniverse(sum.Gamma())
+		for _, ev := range sum.Gamma().Symbols() {
+			lhsPlain := NewPlainSynthesizer().Guard(sum, ev)
+			rhs := temporal.Or(NewPlainSynthesizer().Guard(d1, ev), NewPlainSynthesizer().Guard(d2, ev))
+			if !temporal.EquivalentOver(lhsPlain.Node(), rhs.Node(), uni) {
+				t.Errorf("Theorem 2 fails for %q + %q at %s: %q vs %q",
+					p[0], p[1], ev, lhsPlain.Key(), rhs.Key())
+			}
+			// The decomposing synthesizer must agree with the plain one.
+			lhsDec := NewSynthesizer().Guard(sum, ev)
+			if !temporal.EquivalentOver(lhsPlain.Node(), lhsDec.Node(), uni) {
+				t.Errorf("decomposition changes semantics for %q + %q at %s: %q vs %q",
+					p[0], p[1], ev, lhsPlain.Key(), lhsDec.Key())
+			}
+		}
+	}
+}
+
+// TestIndependenceTheorem4: G(D|E, e) = G(D,e) | G(E,e) for disjoint
+// alphabets (Theorem 4).
+func TestIndependenceTheorem4(t *testing.T) {
+	pairs := [][2]string{
+		{"~e + f", "g"},
+		{"e", "g + ~h"},
+		{"~e + ~f + e . f", "~g + h"},
+	}
+	for _, p := range pairs {
+		d1, d2 := algebra.MustParse(p[0]), algebra.MustParse(p[1])
+		conj := algebra.Conj(d1, d2)
+		uni := algebra.MaximalUniverse(conj.Gamma())
+		for _, ev := range conj.Gamma().Symbols() {
+			lhs := NewPlainSynthesizer().Guard(conj, ev)
+			rhs := temporal.And(NewPlainSynthesizer().Guard(d1, ev), NewPlainSynthesizer().Guard(d2, ev))
+			if !temporal.EquivalentOver(lhs.Node(), rhs.Node(), uni) {
+				t.Errorf("Theorem 4 fails for %q | %q at %s: %q vs %q",
+					p[0], p[1], ev, lhs.Key(), rhs.Key())
+			}
+		}
+	}
+}
+
+// TestDecompositionCounted: the decomposing synthesizer records its
+// Theorem 2/4 applications.
+func TestDecompositionCounted(t *testing.T) {
+	sy := NewSynthesizer()
+	sy.Guard(algebra.MustParse("(~e + f) | (~g + h)"), sym("e"))
+	if sy.Stats().Decompositions == 0 {
+		t.Error("expected at least one decomposition")
+	}
+}

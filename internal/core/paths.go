@@ -1,0 +1,74 @@
+package core
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/temporal"
+)
+
+// Paths enumerates Π(D) restricted to the dependency's own alphabet:
+// every valid event sequence ρ = e1…en over Γ_D (each event at most
+// once, never with its complement) whose residuation drives D to ⊤
+// (Definition 3).  Because ⊤ is absorbing, a path that satisfies D
+// early remains in Π(D) under every valid extension, and Lemma 5 sums
+// over the extensions too, so they are all enumerated.
+func Paths(d *algebra.Expr) []algebra.Trace {
+	start := algebra.CNF(d)
+	gamma := d.Gamma()
+	var out []algebra.Trace
+	var walk func(state *algebra.Expr, prefix algebra.Trace)
+	walk = func(state *algebra.Expr, prefix algebra.Trace) {
+		if state.IsZero() {
+			return
+		}
+		if state.IsTop() {
+			cp := make(algebra.Trace, len(prefix))
+			copy(cp, prefix)
+			out = append(out, cp)
+		}
+		for _, s := range gamma.Symbols() {
+			if prefix.Contains(s) || prefix.Contains(s.Complement()) {
+				continue
+			}
+			walk(algebra.Residuate(state, s), append(prefix, s))
+		}
+	}
+	walk(start, algebra.Trace{})
+	return out
+}
+
+// SequenceGuard computes G(e1…ek…en, e) for a pure sequence of events
+// with e ≡ e_k, using the closed form the paper states in §4.4:
+//
+//	□e1 | … | □e_{k−1} | ¬e_{k+1} | … | ¬e_n | ◇(e_{k+1}·…·e_n)
+func SequenceGuard(path algebra.Trace, k int) temporal.Formula {
+	parts := []temporal.Formula{temporal.TrueF()}
+	for i := 0; i < k; i++ {
+		parts = append(parts, temporal.Lit(temporal.Occurred(path[i])))
+	}
+	for i := k + 1; i < len(path); i++ {
+		parts = append(parts, temporal.Lit(temporal.NotYet(path[i])))
+	}
+	if k+1 < len(path) {
+		parts = append(parts, temporal.Lit(temporal.Eventually(path[k+1:]...)))
+	}
+	return temporal.And(parts...)
+}
+
+// GuardViaPaths computes G(D, e) by Lemma 5: the sum, over every path
+// of Π(D) in which e occurs, of the sequence guard at e's position.
+// It exists to cross-validate Definition 2 in the tests; Compile uses
+// the recursive synthesis.
+func GuardViaPaths(d *algebra.Expr, e algebra.Symbol) temporal.Formula {
+	var terms []temporal.Formula
+	for _, p := range Paths(d) {
+		for k, s := range p {
+			if s.Equal(e) {
+				terms = append(terms, SequenceGuard(p, k))
+			}
+		}
+	}
+	if len(terms) == 0 {
+		return temporal.FalseF()
+	}
+	return temporal.Or(terms...)
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/temporal"
+)
+
+// TestPathsDLess: the satisfying residuation paths of D_< over its own
+// alphabet include the expected prefixes.
+func TestPathsDLess(t *testing.T) {
+	d := algebra.MustParse("~e + ~f + e . f")
+	paths := Paths(d)
+	set := map[string]bool{}
+	for _, p := range paths {
+		set[p.String()] = true
+	}
+	for _, want := range []string{"<~e>", "<~f>", "<e f>", "<e ~f>", "<f ~e>"} {
+		if !set[want] {
+			t.Errorf("Π(D_<) missing path %s", want)
+		}
+	}
+	for _, bad := range []string{"<f e>", "<e>", "<f>", "<>"} {
+		if set[bad] {
+			t.Errorf("Π(D_<) must not contain %s", bad)
+		}
+	}
+	// Every enumerated path must indeed residuate to ⊤.
+	for _, p := range paths {
+		if !algebra.ResiduateTrace(d, p).IsTop() {
+			t.Errorf("path %v does not drive D to ⊤", p)
+		}
+	}
+}
+
+// TestSequenceGuardClosedForm: §4.4's closed form for the guard of a
+// pure event sequence.
+func TestSequenceGuardClosedForm(t *testing.T) {
+	p := algebra.T("a", "b", "c", "d")
+	g := SequenceGuard(p, 1) // guard of b within a·b·c·d
+	want := temporal.And(
+		temporal.Lit(temporal.Occurred(sym("a"))),
+		temporal.Lit(temporal.NotYet(sym("c"))),
+		temporal.Lit(temporal.NotYet(sym("d"))),
+		temporal.Lit(temporal.Eventually(sym("c"), sym("d"))),
+	)
+	if !g.Equal(want) {
+		t.Errorf("sequence guard: got %q want %q", g.Key(), want.Key())
+	}
+	// Final position: everything before occurred, nothing after.
+	g = SequenceGuard(p, 3)
+	want = temporal.And(
+		temporal.Lit(temporal.Occurred(sym("a"))),
+		temporal.Lit(temporal.Occurred(sym("b"))),
+		temporal.Lit(temporal.Occurred(sym("c"))),
+	)
+	if !g.Equal(want) {
+		t.Errorf("final-position guard: got %q want %q", g.Key(), want.Key())
+	}
+}
+
+// TestLemma5: Definition 2 and the Π(D) characterization agree
+// semantically, on the running dependencies and on random expressions.
+func TestLemma5(t *testing.T) {
+	fixed := []string{"~e + f", "~e + ~f + e . f", "e . f", "e + f", "e"}
+	for _, src := range fixed {
+		d := algebra.MustParse(src)
+		checkLemma5(t, d)
+	}
+	r := rand.New(rand.NewSource(29))
+	for i := 0; i < 40; i++ {
+		d := randomExpr(r, []string{"e", "f"}, 2)
+		if d.IsZero() {
+			continue
+		}
+		checkLemma5(t, d)
+	}
+}
+
+func checkLemma5(t *testing.T, d *algebra.Expr) {
+	t.Helper()
+	uni := algebra.MaximalUniverse(d.Gamma())
+	if len(uni) == 0 {
+		return // expression without events (⊤): nothing to check
+	}
+	for _, ev := range d.Gamma().Symbols() {
+		def2 := NewPlainSynthesizer().Guard(d, ev)
+		lemma5 := GuardViaPaths(d, ev)
+		if !temporal.EquivalentOver(def2.Node(), lemma5.Node(), uni) {
+			t.Errorf("Lemma 5 fails for %q at %s: Definition2=%q paths=%q",
+				d.Key(), ev, def2.Key(), lemma5.Key())
+		}
+	}
+}
+
+func randomExpr(r *rand.Rand, names []string, depth int) *algebra.Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		s := algebra.Sym(names[r.Intn(len(names))])
+		if r.Intn(2) == 0 {
+			s = s.Complement()
+		}
+		return algebra.At(s)
+	}
+	n := 2
+	subs := make([]*algebra.Expr, n)
+	for i := range subs {
+		subs[i] = randomExpr(r, names, depth-1)
+	}
+	switch r.Intn(3) {
+	case 0:
+		return algebra.Seq(subs...)
+	case 1:
+		return algebra.Choice(subs...)
+	default:
+		return algebra.Conj(subs...)
+	}
+}

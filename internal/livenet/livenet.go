@@ -1,0 +1,144 @@
+// Package livenet is a concurrent transport for the actor protocol:
+// real goroutines and channels instead of the deterministic simulator.
+// Each site runs one goroutine draining an unbounded inbox, so actor
+// state is serialized per site exactly as the protocol requires, while
+// different sites genuinely race.
+//
+// The package exists to demonstrate that the scheduler is not
+// simulation-bound: the same actor code (actor.Deliver) runs over both
+// transports.  Tests exercise it under the race detector.
+package livenet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Handler consumes payloads delivered to a site.
+type Handler func(n *Net, payload any)
+
+// Net is the concurrent transport; it implements actor.Net.
+type Net struct {
+	start   time.Time
+	occ     atomic.Int64
+	pending atomic.Int64
+
+	mu    sync.Mutex
+	sites map[simnet.SiteID]*inbox
+	done  chan struct{}
+}
+
+type inbox struct {
+	net     *Net
+	handler Handler
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []any
+	closed bool
+}
+
+// New creates a transport with no sites.
+func New() *Net {
+	return &Net{
+		start: time.Now(),
+		sites: make(map[simnet.SiteID]*inbox),
+		done:  make(chan struct{}),
+	}
+}
+
+// AddSite registers a site and starts its goroutine.  All sites must
+// be added before messages flow.
+func (n *Net) AddSite(id simnet.SiteID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.sites[id]; dup {
+		panic(fmt.Sprintf("livenet: duplicate site %q", id))
+	}
+	ib := &inbox{net: n, handler: h}
+	ib.cond = sync.NewCond(&ib.mu)
+	n.sites[id] = ib
+	go ib.loop()
+}
+
+func (ib *inbox) loop() {
+	for {
+		ib.mu.Lock()
+		for len(ib.queue) == 0 && !ib.closed {
+			ib.cond.Wait()
+		}
+		if ib.closed && len(ib.queue) == 0 {
+			ib.mu.Unlock()
+			return
+		}
+		payload := ib.queue[0]
+		ib.queue = ib.queue[1:]
+		ib.mu.Unlock()
+
+		ib.handler(ib.net, payload)
+		ib.net.pending.Add(-1)
+	}
+}
+
+// Send delivers the payload to the site's inbox (unbounded, in order
+// per sender-receiver pair as far as Go's memory model serializes the
+// enqueue).
+func (n *Net) Send(_, to simnet.SiteID, payload any) {
+	n.mu.Lock()
+	ib, ok := n.sites[to]
+	n.mu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("livenet: message to unknown site %q", to))
+	}
+	n.pending.Add(1)
+	ib.mu.Lock()
+	ib.queue = append(ib.queue, payload)
+	ib.mu.Unlock()
+	ib.cond.Signal()
+}
+
+// Now returns microseconds since the transport started.
+func (n *Net) Now() simnet.Time {
+	return simnet.Time(time.Since(n.start).Microseconds())
+}
+
+// NextOccurrence issues the next globally ordered occurrence index
+// (atomic: a total order across all goroutines).
+func (n *Net) NextOccurrence() int64 { return n.occ.Add(1) }
+
+// WaitIdle blocks until no messages are queued or being processed,
+// stable across two observations, or the timeout elapses.  It reports
+// whether quiescence was reached.
+func (n *Net) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	stable := 0
+	for time.Now().Before(deadline) {
+		if n.pending.Load() == 0 {
+			stable++
+			if stable >= 3 {
+				return true
+			}
+		} else {
+			stable = 0
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return n.pending.Load() == 0
+}
+
+// Close shuts down every site goroutine; pending messages are drained
+// first if the caller waited for idle.
+func (n *Net) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ib := range n.sites {
+		ib.mu.Lock()
+		ib.closed = true
+		ib.mu.Unlock()
+		ib.cond.Broadcast()
+	}
+}

@@ -1,0 +1,219 @@
+package livenet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+func sym(k string) algebra.Symbol {
+	s, err := algebra.ParseSymbol(k)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestTransportBasics(t *testing.T) {
+	n := New()
+	var mu sync.Mutex
+	var got []string
+	n.AddSite("a", func(_ *Net, p any) {
+		mu.Lock()
+		got = append(got, p.(string))
+		mu.Unlock()
+	})
+	n.Send("", "a", "x")
+	n.Send("", "a", "y")
+	if !n.WaitIdle(2 * time.Second) {
+		t.Fatal("transport did not quiesce")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("delivery order: %v", got)
+	}
+	if n.NextOccurrence() >= n.NextOccurrence() {
+		t.Fatal("occurrence indices must increase")
+	}
+	n.Close()
+}
+
+func TestTransportPanicsOnUnknownSite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Send("", "ghost", 1)
+}
+
+// liveRig wires the compiled workflow's actors over the concurrent
+// transport, one site per event, exactly as the simulation rig does.
+type liveRig struct {
+	net    *Net
+	dir    *actor.Directory
+	actors map[string]*actor.Actor
+
+	mu    sync.Mutex
+	trace []algebra.Symbol
+}
+
+func newLiveRig(t *testing.T, deps ...string) *liveRig {
+	t.Helper()
+	w, err := core.ParseWorkflow(deps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &liveRig{net: New(), dir: actor.NewDirectory(), actors: map[string]*actor.Actor{}}
+	hooks := &actor.Hooks{
+		OnFire: func(s algebra.Symbol, _ int64, _ simnet.Time) {
+			r.mu.Lock()
+			r.trace = append(r.trace, s)
+			r.mu.Unlock()
+		},
+	}
+	bases := c.Workflow.Alphabet().Bases()
+	for _, b := range bases {
+		r.dir.Place(b, simnet.SiteID("site-"+b.Key()))
+	}
+	for _, b := range bases {
+		site, _ := r.dir.SiteOf(b)
+		a := actor.New(b, site, r.dir, hooks,
+			actor.GuardSpec{Guard: c.GuardOf(b)},
+			actor.GuardSpec{Guard: c.GuardOf(b.Complement())})
+		r.actors[b.Key()] = a
+		for _, polKey := range []string{b.Key(), b.Complement().Key()} {
+			if eg := c.Guards[polKey]; eg != nil {
+				for _, wsym := range eg.Watches {
+					r.dir.Subscribe(wsym, site)
+				}
+			}
+		}
+		r.net.AddSite(site, func(n *Net, p any) { a.Deliver(n, p) })
+	}
+	return r
+}
+
+func (r *liveRig) attempt(s algebra.Symbol) {
+	site, err := r.dir.SiteOf(s)
+	if err != nil {
+		panic(err)
+	}
+	r.net.Send("", site, actor.AttemptMsg{Sym: s})
+}
+
+func (r *liveRig) snapshot() algebra.Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append(algebra.Trace(nil), r.trace...)
+}
+
+// TestLiveTravel runs the travel workflow's commit path over real
+// goroutines: the same actor code as the simulation, now genuinely
+// concurrent.  Invariants (not exact traces) are asserted, and the
+// test is meaningful under -race.
+func TestLiveTravel(t *testing.T) {
+	deps := []string{
+		"~s_buy + s_book",
+		"~c_buy + c_book . c_buy",
+		"~c_book + c_buy + s_cancel",
+	}
+	for round := 0; round < 5; round++ {
+		r := newLiveRig(t, deps...)
+		r.attempt(sym("s_buy"))
+		r.attempt(sym("s_book"))
+		if !r.net.WaitIdle(3 * time.Second) {
+			t.Fatal("starts did not quiesce")
+		}
+		r.attempt(sym("c_book"))
+		r.attempt(sym("c_buy"))
+		if !r.net.WaitIdle(3 * time.Second) {
+			t.Fatal("commits did not quiesce")
+		}
+		// Close out: everything unresolved resolves negatively or
+		// positively, as the run allows.
+		for _, b := range []string{"c_book", "c_buy", "s_book", "s_buy", "s_cancel"} {
+			a := r.actors[b]
+			if _, occ := a.Occurred(sym(b)); occ {
+				continue
+			}
+			if _, occ := a.Occurred(sym("~" + b)); occ {
+				continue
+			}
+			r.attempt(sym("~" + b))
+		}
+		if !r.net.WaitIdle(3 * time.Second) {
+			t.Fatal("closeout did not quiesce")
+		}
+		// Second pass: complements rejected ⇒ the event is obligated.
+		for _, b := range []string{"c_book", "c_buy", "s_book", "s_buy", "s_cancel"} {
+			a := r.actors[b]
+			if _, occ := a.Occurred(sym(b)); occ {
+				continue
+			}
+			if _, occ := a.Occurred(sym("~" + b)); occ {
+				continue
+			}
+			r.attempt(sym(b))
+		}
+		if !r.net.WaitIdle(3 * time.Second) {
+			t.Fatal("final closeout did not quiesce")
+		}
+		r.net.Close()
+
+		u := r.snapshot()
+		if !u.Valid() {
+			t.Fatalf("round %d: invalid trace %v", round, u)
+		}
+		w, _ := core.ParseWorkflow(deps...)
+		if u.MaximalOver(w.Alphabet()) && !core.SatisfiesAll(w, u) {
+			t.Fatalf("round %d: trace %v violates the workflow", round, u)
+		}
+		// The ordering dependency must hold whenever both commits
+		// occurred.
+		ib, ibuy := u.Index(sym("c_book")), u.Index(sym("c_buy"))
+		if ib >= 0 && ibuy >= 0 && ib > ibuy {
+			t.Fatalf("round %d: c_book after c_buy: %v", round, u)
+		}
+	}
+}
+
+// TestLiveConcurrentExclusion hammers one actor pair from many
+// goroutines: for each of N events, the event and its complement race;
+// exactly one polarity ever fires.
+func TestLiveConcurrentExclusion(t *testing.T) {
+	r := newLiveRig(t, "~a + ~b + a . b", "~b + ~c + b . c")
+	var wg sync.WaitGroup
+	for _, b := range []string{"a", "b", "c"} {
+		for _, k := range []string{b, "~" + b} {
+			wg.Add(1)
+			go func(k string) {
+				defer wg.Done()
+				r.attempt(sym(k))
+			}(k)
+		}
+	}
+	wg.Wait()
+	if !r.net.WaitIdle(3 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	r.net.Close()
+	u := r.snapshot()
+	if !u.Valid() {
+		t.Fatalf("polarity exclusion violated: %v", u)
+	}
+	w, _ := core.ParseWorkflow("~a + ~b + a . b", "~b + ~c + b . c")
+	if u.MaximalOver(w.Alphabet()) && !core.SatisfiesAll(w, u) {
+		t.Fatalf("trace %v violates the workflow", u)
+	}
+}

@@ -1,0 +1,479 @@
+package param
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/simnet"
+	"repro/internal/temporal"
+)
+
+// This file distributes §5's parametrized scheduling over the
+// simulated network: one TypeActor per event type, holding the guard
+// templates of every dependency that mentions the type and scheduling
+// the type's ground tokens from local knowledge plus announcements.
+//
+// Because parametrized ¬ literals are universally quantified, deciding
+// them needs the same agreement the ground scheduler uses — here at
+// type granularity: the decider asks each relevant type actor to
+// freeze admissions and report its occurrence history, decides, and
+// releases.  Freezes are acquired with the same total-priority
+// deferral as the ground actors (by type name), so waits cannot cycle.
+// ◇/□ requirements resolve through announcements and the closeout
+// driver (proactive triggering is the ground scheduler's department;
+// see DESIGN.md).
+
+// TokAttempt submits a ground token to its type's actor.
+type TokAttempt struct {
+	Ground algebra.Symbol
+	// ReplyTo, when set, receives the TokDecision.
+	ReplyTo simnet.SiteID
+}
+
+// TokAnnounce broadcasts a ground occurrence.
+type TokAnnounce struct {
+	Ground algebra.Symbol
+	At     int64
+}
+
+// TokDecision reports an accept/reject for a token.
+type TokDecision struct {
+	Ground   algebra.Symbol
+	Accepted bool
+}
+
+// TFreeze asks a type actor to freeze admissions and report its
+// occurrence history.
+type TFreeze struct {
+	Type      string // base type name to freeze
+	Requester string // requesting type name (priority)
+	ReplyTo   simnet.SiteID
+	Round     int
+}
+
+// TFreezeReply carries the frozen type's occurrence history.
+type TFreezeReply struct {
+	Type        string
+	Round       int
+	Occurrences []TokAnnounce
+}
+
+// TRelease ends a freeze.
+type TRelease struct {
+	Type  string
+	Round int
+}
+
+// TypeActor schedules the ground tokens of one event type.
+type TypeActor struct {
+	// name is the base event-type name (e.g. "b1").
+	name string
+	site simnet.SiteID
+	// guards are the instantiable guard templates for tokens of this
+	// type: one per (dependency, unifying pattern), for each polarity.
+	guards map[string][]typeGuard // polarity marker "+"/"-" → templates
+	hist   History
+	parked []parkedToken
+	// frozenBy holds admission freezes granted to remote deciders.
+	frozenBy map[string]bool
+	// deciding tracks an in-flight freeze round for a parked token.
+	round *tokenRound
+	// deferred freeze requests awaiting our own round.
+	deferred []TFreeze
+	dir      *TypeDirectory
+	hooks    *TypeHooks
+	roundSeq int
+}
+
+type parkedToken struct {
+	ground  algebra.Symbol
+	replyTo simnet.SiteID
+}
+
+// typeGuard pairs a guard template with the event-type pattern it was
+// synthesized for, so a ground token can bind the pattern's variables
+// into the template (shared-variable dependencies, §5.1 style).
+type typeGuard struct {
+	pattern algebra.Symbol
+	tmpl    *ParamGuard
+}
+
+type tokenRound struct {
+	id      int
+	token   parkedToken
+	pending map[string]bool
+}
+
+// TypeDirectory maps type names to sites and subscription lists.
+type TypeDirectory struct {
+	sites map[string]simnet.SiteID
+	subs  map[string][]simnet.SiteID
+}
+
+// NewTypeDirectory creates an empty directory.
+func NewTypeDirectory() *TypeDirectory {
+	return &TypeDirectory{sites: map[string]simnet.SiteID{}, subs: map[string][]simnet.SiteID{}}
+}
+
+// Place assigns a type to a site.
+func (d *TypeDirectory) Place(name string, site simnet.SiteID) { d.sites[name] = site }
+
+// SiteOf returns a type's site.
+func (d *TypeDirectory) SiteOf(name string) (simnet.SiteID, bool) {
+	s, ok := d.sites[name]
+	return s, ok
+}
+
+// Subscribe adds a site to a type's announcement list.
+func (d *TypeDirectory) Subscribe(name string, site simnet.SiteID) {
+	for _, s := range d.subs[name] {
+		if s == site {
+			return
+		}
+	}
+	d.subs[name] = append(d.subs[name], site)
+	sort.Slice(d.subs[name], func(i, j int) bool { return d.subs[name][i] < d.subs[name][j] })
+}
+
+// TypeHooks observe occurrences and decisions out-of-band.
+type TypeHooks struct {
+	OnFire     func(ground algebra.Symbol, at int64)
+	OnDecision func(d TokDecision)
+}
+
+func (h *TypeHooks) fire(g algebra.Symbol, at int64) {
+	if h != nil && h.OnFire != nil {
+		h.OnFire(g, at)
+	}
+}
+
+func (h *TypeHooks) decision(d TokDecision) {
+	if h != nil && h.OnDecision != nil {
+		h.OnDecision(d)
+	}
+}
+
+// NewTypeActor builds the actor for one event type from the
+// parametrized dependencies (those not mentioning the type contribute
+// nothing).  Guard templates are synthesized once — precompilation.
+func NewTypeActor(name string, site simnet.SiteID, deps []*algebra.Expr,
+	dir *TypeDirectory, hooks *TypeHooks) (*TypeActor, error) {
+	if name == "" || site == "" {
+		return nil, fmt.Errorf("param: type actor needs a name and site")
+	}
+	m, err := managerFromDeps(deps)
+	if err != nil {
+		return nil, err
+	}
+	a := &TypeActor{
+		name:     name,
+		site:     site,
+		guards:   map[string][]typeGuard{},
+		frozenBy: map[string]bool{},
+		dir:      dir,
+		hooks:    hooks,
+	}
+	for i, d := range deps {
+		for _, pat := range gammaTypes(d) {
+			if pat.Name != name {
+				continue
+			}
+			marker := "+"
+			if pat.Bar {
+				marker = "-"
+			}
+			a.guards[marker] = append(a.guards[marker],
+				typeGuard{pattern: pat, tmpl: m.guardFor(i, pat)})
+		}
+	}
+	return a, nil
+}
+
+func managerFromDeps(deps []*algebra.Expr) (*Manager, error) {
+	var srcs []string
+	for _, d := range deps {
+		srcs = append(srcs, d.Key())
+	}
+	return NewManager(srcs...)
+}
+
+// WatchedTypes returns the other event-type names this actor's guards
+// mention: the types whose occurrences it must hear about, and whose
+// ¬ literals need freezes.
+func (a *TypeActor) WatchedTypes() []string {
+	seen := map[string]bool{}
+	for _, gs := range a.guards {
+		for _, g := range gs {
+			for _, s := range g.tmpl.Template.Symbols() {
+				if s.Name != a.name {
+					seen[s.Name] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// negTypes returns the type names appearing under ¬ literals in the
+// actor's guards: those require the freeze agreement.
+func (a *TypeActor) negTypes(polarity string) []string {
+	seen := map[string]bool{}
+	for _, g := range a.guards[polarity] {
+		for _, p := range g.tmpl.Template.Products() {
+			for _, l := range p.Lits() {
+				if l.Kind() == temporal.LitNotYet && l.Sym().Name != a.name {
+					seen[l.Sym().Name] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handle implements simnet.Handler.
+func (a *TypeActor) Handle(n *simnet.Network, m simnet.Message) {
+	switch msg := m.Payload.(type) {
+	case TokAttempt:
+		a.onAttempt(n, msg)
+	case TokAnnounce:
+		a.onAnnounce(n, msg)
+	case TFreeze:
+		a.onFreeze(n, msg)
+	case TFreezeReply:
+		a.onFreezeReply(n, msg)
+	case TRelease:
+		delete(a.frozenBy, msg.Type+fmt.Sprint(msg.Round))
+		a.admitParked(n)
+	default:
+		panic(fmt.Sprintf("param: type actor %s: unexpected payload %T", a.name, m.Payload))
+	}
+}
+
+func (a *TypeActor) polarityOf(g algebra.Symbol) string {
+	if g.Bar {
+		return "-"
+	}
+	return "+"
+}
+
+func (a *TypeActor) onAttempt(n *simnet.Network, m TokAttempt) {
+	g := m.Ground
+	if g.Name != a.name || !g.Ground() {
+		panic(fmt.Sprintf("param: type actor %s: misrouted token %s", a.name, g))
+	}
+	if a.hist.Occurred(g) {
+		a.decide(n, g, m.ReplyTo, true)
+		return
+	}
+	if a.hist.Occurred(g.Complement()) {
+		a.decide(n, g, m.ReplyTo, false)
+		return
+	}
+	a.evaluate(n, parkedToken{ground: g, replyTo: m.ReplyTo}, true)
+}
+
+// evaluate decides a token; fresh tokens may start a freeze round for
+// their ¬ literals, parked retries only re-check.
+func (a *TypeActor) evaluate(n *simnet.Network, tok parkedToken, fresh bool) {
+	if len(a.frozenBy) > 0 {
+		// A remote decider holds us frozen: queue the admission.
+		a.park(tok)
+		return
+	}
+	switch a.evalToken(tok.ground) {
+	case temporal.True:
+		negs := a.negTypes(a.polarityOf(tok.ground))
+		if len(negs) > 0 {
+			// Secure agreement before relying on universal ¬s.
+			switch {
+			case a.round == nil:
+				a.startRound(n, tok, negs)
+			case a.round.token.ground.Equal(tok.ground):
+				// round already in flight for this token
+			default:
+				a.park(tok)
+			}
+			return
+		}
+		a.fire(n, tok)
+	case temporal.False:
+		a.decide(n, tok.ground, tok.replyTo, false)
+	default:
+		a.park(tok)
+	}
+	_ = fresh
+}
+
+func (a *TypeActor) evalToken(g algebra.Symbol) temporal.Tri {
+	result := temporal.True
+	for _, tg := range a.guards[a.polarityOf(g)] {
+		b, ok := Unify(tg.pattern, g)
+		if !ok {
+			continue // token does not instantiate this pattern
+		}
+		pg := tg.tmpl
+		if len(b) > 0 {
+			pg = NewParamGuard(SubstFormula(tg.tmpl.Template, b))
+		}
+		switch pg.Eval(&a.hist) {
+		case temporal.False:
+			return temporal.False
+		case temporal.Unknown:
+			result = temporal.Unknown
+		}
+	}
+	return result
+}
+
+func (a *TypeActor) park(tok parkedToken) {
+	for _, p := range a.parked {
+		if p.ground.Equal(tok.ground) {
+			return
+		}
+	}
+	a.parked = append(a.parked, tok)
+}
+
+func (a *TypeActor) startRound(n *simnet.Network, tok parkedToken, negs []string) {
+	a.roundSeq++
+	a.round = &tokenRound{id: a.roundSeq, token: tok, pending: map[string]bool{}}
+	for _, t := range negs {
+		site, ok := a.dir.SiteOf(t)
+		if !ok {
+			panic(fmt.Sprintf("param: no site for type %s", t))
+		}
+		a.round.pending[t] = true
+		n.Send(a.site, site, TFreeze{Type: t, Requester: a.name, ReplyTo: a.site, Round: a.round.id})
+	}
+}
+
+func (a *TypeActor) onFreeze(n *simnet.Network, m TFreeze) {
+	// Priority deferral: while our own round is pending and our name
+	// is smaller, postpone.
+	if a.round != nil && len(a.round.pending) > 0 && a.name < m.Requester {
+		a.deferred = append(a.deferred, m)
+		return
+	}
+	a.frozenBy[m.Requester+fmt.Sprint(m.Round)] = true
+	var occ []TokAnnounce
+	for _, g := range a.hist.grounds {
+		t, _ := a.hist.know.Time(g)
+		occ = append(occ, TokAnnounce{Ground: g, At: t})
+	}
+	n.Send(a.site, m.ReplyTo, TFreezeReply{Type: a.name, Round: m.Round, Occurrences: occ})
+}
+
+func (a *TypeActor) onFreezeReply(n *simnet.Network, m TFreezeReply) {
+	if a.round == nil || a.round.id != m.Round {
+		// Stale: release immediately.
+		if site, ok := a.dir.SiteOf(m.Type); ok {
+			n.Send(a.site, site, TRelease{Type: a.name, Round: m.Round})
+		}
+		return
+	}
+	for _, occ := range m.Occurrences {
+		if !a.hist.Occurred(occ.Ground) {
+			a.hist.Observe(occ.Ground, occ.At)
+		}
+	}
+	delete(a.round.pending, m.Type)
+	if len(a.round.pending) > 0 {
+		return
+	}
+	// All freezes in: final decision with synchronized knowledge.
+	tok := a.round.token
+	switch a.evalToken(tok.ground) {
+	case temporal.True:
+		a.fire(n, tok)
+	case temporal.False:
+		a.endRound(n)
+		a.decide(n, tok.ground, tok.replyTo, false)
+	default:
+		a.endRound(n)
+		a.park(tok)
+	}
+}
+
+func (a *TypeActor) endRound(n *simnet.Network) {
+	if a.round == nil {
+		return
+	}
+	for _, t := range a.negTypes(a.polarityOf(a.round.token.ground)) {
+		if site, ok := a.dir.SiteOf(t); ok {
+			n.Send(a.site, site, TRelease{Type: a.name, Round: a.round.id})
+		}
+	}
+	a.round = nil
+	pending := a.deferred
+	a.deferred = nil
+	for _, m := range pending {
+		a.onFreeze(n, m)
+	}
+}
+
+func (a *TypeActor) fire(n *simnet.Network, tok parkedToken) {
+	at := n.NextOccurrence()
+	a.hist.Observe(tok.ground, at)
+	a.hooks.fire(tok.ground, at)
+	for _, site := range a.dir.subs[a.name] {
+		n.Send(a.site, site, TokAnnounce{Ground: tok.ground, At: at})
+	}
+	a.endRound(n)
+	a.decide(n, tok.ground, tok.replyTo, true)
+	a.retryParked(n)
+}
+
+func (a *TypeActor) onAnnounce(n *simnet.Network, m TokAnnounce) {
+	if a.hist.Occurred(m.Ground) {
+		return
+	}
+	a.hist.Observe(m.Ground, m.At)
+	a.retryParked(n)
+}
+
+func (a *TypeActor) retryParked(n *simnet.Network) {
+	parked := a.parked
+	a.parked = nil
+	for _, tok := range parked {
+		if a.hist.Occurred(tok.ground.Complement()) {
+			a.decide(n, tok.ground, tok.replyTo, false)
+			continue
+		}
+		a.evaluate(n, tok, false)
+	}
+}
+
+// admitParked re-evaluates queued admissions once freezes lift.
+func (a *TypeActor) admitParked(n *simnet.Network) {
+	if len(a.frozenBy) == 0 {
+		a.retryParked(n)
+	}
+}
+
+func (a *TypeActor) decide(n *simnet.Network, g algebra.Symbol, replyTo simnet.SiteID, accepted bool) {
+	d := TokDecision{Ground: g, Accepted: accepted}
+	a.hooks.decision(d)
+	if replyTo != "" {
+		n.Send(a.site, replyTo, d)
+	}
+}
+
+// Parked returns the currently parked tokens (diagnostics).
+func (a *TypeActor) Parked() []algebra.Symbol {
+	out := make([]algebra.Symbol, 0, len(a.parked))
+	for _, p := range a.parked {
+		out = append(out, p.ground)
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package param
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/simnet"
+)
+
+// distRig wires type actors for Example 13's mutual exclusion over the
+// simulated network: b1/e1 at one site, b2/e2 at another.
+type distRig struct {
+	net       *simnet.Network
+	dir       *TypeDirectory
+	actors    map[string]*TypeActor
+	trace     []algebra.Symbol
+	decisions []TokDecision
+}
+
+func newDistRig(t *testing.T, seed int64) *distRig {
+	t.Helper()
+	deps := []*algebra.Expr{
+		algebra.MustParse("b2[?y] . b1[?x] + ~e1[?x] + ~b2[?y] + e1[?x] . b2[?y]"),
+		algebra.MustParse("b1[?x] . b2[?y] + ~e2[?y] + ~b1[?x] + e2[?y] . b1[?x]"),
+	}
+	r := &distRig{
+		net:    simnet.New(simnet.LatencyModel{Local: 1, Remote: 40, Jitter: 15}, seed),
+		dir:    NewTypeDirectory(),
+		actors: map[string]*TypeActor{},
+	}
+	hooks := &TypeHooks{
+		OnFire:     func(g algebra.Symbol, _ int64) { r.trace = append(r.trace, g) },
+		OnDecision: func(d TokDecision) { r.decisions = append(r.decisions, d) },
+	}
+	placement := map[string]simnet.SiteID{
+		"b1": "site-t1", "e1": "site-t1",
+		"b2": "site-t2", "e2": "site-t2",
+	}
+	for name, site := range placement {
+		r.dir.Place(name, site)
+	}
+	for name, site := range placement {
+		a, err := NewTypeActor(name, site, deps, r.dir, hooks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.actors[name] = a
+		r.net.AddSite(simnet.SiteID(site)+"/"+simnet.SiteID(name), nil) // reserve nothing; see below
+	}
+	// One actor per site is not enough here (two types share a site);
+	// demultiplex by registering a tiny router per site.
+	routers := map[simnet.SiteID][]*TypeActor{}
+	for name, site := range placement {
+		routers[site] = append(routers[site], r.actors[name])
+	}
+	for site, actors := range routers {
+		actors := actors
+		r.net.AddSite(site, simnet.HandlerFunc(func(n *simnet.Network, m simnet.Message) {
+			for _, a := range actors {
+				if routeToType(a, m) {
+					a.Handle(n, m)
+					return
+				}
+			}
+			// Announcements fan out to every local actor.
+			if _, ok := m.Payload.(TokAnnounce); ok {
+				for _, a := range actors {
+					a.Handle(n, m)
+				}
+			}
+		}))
+	}
+	// Subscriptions: every type hears the types it watches.
+	for name, a := range r.actors {
+		for _, w := range a.WatchedTypes() {
+			r.dir.Subscribe(w, placement[name])
+		}
+	}
+	return r
+}
+
+// routeToType reports whether the message targets the actor's type.
+func routeToType(a *TypeActor, m simnet.Message) bool {
+	switch msg := m.Payload.(type) {
+	case TokAttempt:
+		return msg.Ground.Name == a.name
+	case TFreeze:
+		return msg.Type == a.name
+	case TFreezeReply, TRelease:
+		// Replies/releases go to the requester's round; route by the
+		// actor with an active round or freeze entry.
+		if reply, ok := m.Payload.(TFreezeReply); ok {
+			return a.round != nil && a.round.pending[reply.Type]
+		}
+		rel := m.Payload.(TRelease)
+		_, held := a.frozenBy[rel.Type+fmt.Sprint(rel.Round)]
+		return held
+	}
+	return false
+}
+
+func (r *distRig) attempt(g string, delay simnet.Time) {
+	sym, err := algebra.ParseSymbol(g)
+	if err != nil {
+		panic(err)
+	}
+	site, _ := r.dir.SiteOf(sym.Name)
+	r.net.After(site, delay, TokAttempt{Ground: sym})
+}
+
+func (r *distRig) run() { r.net.Run(100000) }
+
+// TestDistributedMutex drives two serial looping tasks: each exits
+// before re-entering, and a parked entry is admitted by the exit
+// announcement.  The realized history never overlaps.
+func TestDistributedMutex(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := newDistRig(t, seed)
+		steps := []string{
+			"b1[i1]", "b2[j1]", // t2 parks while t1 inside
+			"e1[i1]", // t2 admitted on announcement
+			"e2[j1]",
+			"b2[j2]", "b1[i2]", // roles reversed in iteration 2
+			"e2[j2]",
+			"e1[i2]",
+		}
+		for _, st := range steps {
+			r.attempt(st, 1)
+			r.run()
+		}
+		if len(r.trace) != len(steps) {
+			t.Fatalf("seed %d: every token must eventually occur: %v", seed, r.trace)
+		}
+		assertNoOverlapDist(t, seed, r.trace)
+	}
+}
+
+// TestDistributedMutexRace: simultaneous entries from both sites —
+// the freeze agreement admits at most one before an exit.
+func TestDistributedMutexRace(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		r := newDistRig(t, seed)
+		r.attempt("b1[x]", 5)
+		r.attempt("b2[y]", 5)
+		r.run()
+		entered := 0
+		for _, s := range r.trace {
+			if s.Name == "b1" || s.Name == "b2" {
+				entered++
+			}
+		}
+		if entered > 1 {
+			t.Fatalf("seed %d: both tasks inside their critical sections: %v", seed, r.trace)
+		}
+		if entered == 0 {
+			t.Fatalf("seed %d: nobody admitted (livelock): %v", seed, r.trace)
+		}
+	}
+}
+
+func assertNoOverlapDist(t *testing.T, seed int64, tr []algebra.Symbol) {
+	t.Helper()
+	open := ""
+	for _, s := range tr {
+		switch s.Name {
+		case "b1", "b2":
+			if open != "" {
+				t.Fatalf("seed %d: overlapping critical sections: %v", seed, tr)
+			}
+			open = s.Name
+		case "e1":
+			if open != "b1" {
+				t.Fatalf("seed %d: e1 without open b1: %v", seed, tr)
+			}
+			open = ""
+		case "e2":
+			if open != "b2" {
+				t.Fatalf("seed %d: e2 without open b2: %v", seed, tr)
+			}
+			open = ""
+		}
+	}
+}
+
+// TestDistributedMutexEventualEntry: a parked entry is admitted once
+// the blocking exit's announcement arrives.
+func TestDistributedMutexEventualEntry(t *testing.T) {
+	r := newDistRig(t, 9)
+	r.attempt("b1[a]", 1)
+	r.run()
+	r.attempt("b2[b]", 1)
+	r.run()
+	if len(r.actors["b2"].Parked()) != 1 {
+		t.Fatalf("b2[b] must park while t1 is inside (trace %v)", r.trace)
+	}
+	r.attempt("e1[a]", 1)
+	r.run()
+	found := false
+	for _, s := range r.trace {
+		if s.Key() == "b2[b]" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("b2[b] must be admitted after e1[a]: %v", r.trace)
+	}
+	assertNoOverlapDist(t, 9, r.trace)
+}
+
+func TestNewTypeActorValidation(t *testing.T) {
+	if _, err := NewTypeActor("", "s", nil, NewTypeDirectory(), nil); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if _, err := NewTypeActor("x", "s", nil, NewTypeDirectory(), nil); err == nil {
+		t.Fatal("no dependencies must fail")
+	}
+}
+
+// TestRunTypesMutex: the packaged driver runs Example 13 end to end
+// over the network.
+func TestRunTypesMutex(t *testing.T) {
+	rep, err := RunTypes(TypesConfig{
+		Deps: []string{
+			"b2[?y] . b1[?x] + ~e1[?x] + ~b2[?y] + e1[?x] . b2[?y]",
+			"b1[?x] . b2[?y] + ~e2[?y] + ~b1[?x] + e2[?y] . b1[?x]",
+		},
+		Placement: map[string]simnet.SiteID{
+			"b1": "t1", "e1": "t1", "b2": "t2", "e2": "t2",
+		},
+		Script: []TimedToken{
+			{Ground: "b1[i1]", At: 10},
+			{Ground: "b2[j1]", At: 12}, // races; parks until e1[i1]
+			{Ground: "e1[i1]", At: 5000},
+			{Ground: "e2[j1]", At: 10000},
+			{Ground: "b1[i2]", At: 15000},
+			{Ground: "e1[i2]", At: 20000},
+		},
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Parked) != 0 {
+		t.Fatalf("parked tokens remain: %v (trace %v)", rep.Parked, rep.Trace)
+	}
+	if len(rep.Trace) != 6 {
+		t.Fatalf("all 6 tokens must occur: %v", rep.Trace)
+	}
+	syms := make([]algebra.Symbol, len(rep.Trace))
+	copy(syms, rep.Trace)
+	assertNoOverlapDist(t, 3, syms)
+	if rep.Stats.Remote == 0 {
+		t.Fatal("the run must actually be distributed")
+	}
+}
+
+func TestRunTypesErrors(t *testing.T) {
+	if _, err := RunTypes(TypesConfig{}); err == nil {
+		t.Fatal("no deps must error")
+	}
+	if _, err := RunTypes(TypesConfig{Deps: []string{"e +"}}); err == nil {
+		t.Fatal("bad dep must error")
+	}
+	if _, err := RunTypes(TypesConfig{
+		Deps:   []string{"~a[?x] + b[?x]"},
+		Script: []TimedToken{{Ground: "zzz[1]", At: 1}},
+	}); err == nil {
+		t.Fatal("unknown script type must error")
+	}
+}

@@ -1,0 +1,81 @@
+package param
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+)
+
+// Template is a parametrized workflow (§5.1): dependencies whose
+// events share variables, plus the key event whose occurrence binds
+// them.  Attempting a ground instance of the key event unifies against
+// it, and the resulting binding instantiates the workflow afresh.
+type Template struct {
+	// Deps are the parametrized dependencies.
+	Deps []*algebra.Expr
+	// Key is the binding event type, e.g. s_buy[?cid].
+	Key algebra.Symbol
+}
+
+// NewTemplate builds a template from dependency sources in text syntax
+// and a key event.
+func NewTemplate(key string, deps ...string) (*Template, error) {
+	k, err := algebra.ParseSymbol(key)
+	if err != nil {
+		return nil, fmt.Errorf("param: key: %w", err)
+	}
+	t := &Template{Key: k}
+	for i, src := range deps {
+		d, err := algebra.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("param: dependency %d: %w", i+1, err)
+		}
+		t.Deps = append(t.Deps, d)
+	}
+	return t, nil
+}
+
+// Validate checks that the key's variables cover every variable of the
+// dependencies, so instantiation grounds the whole workflow.
+func (t *Template) Validate() error {
+	if t.Key.Name == "" {
+		return fmt.Errorf("param: template without a key event")
+	}
+	keyVars := map[string]bool{}
+	for _, term := range t.Key.Params {
+		if term.IsVar {
+			keyVars[term.Value] = true
+		}
+	}
+	for i, d := range t.Deps {
+		for _, v := range Vars(d) {
+			if !keyVars[v] {
+				return fmt.Errorf("param: dependency %d uses variable ?%s not bound by key %s",
+					i+1, v, t.Key)
+			}
+		}
+	}
+	return nil
+}
+
+// Instantiate unifies a ground occurrence of the key event against the
+// template and returns the fully ground workflow instance.
+func (t *Template) Instantiate(ground algebra.Symbol) (*core.Workflow, Binding, error) {
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	b, ok := Unify(t.Key, ground)
+	if !ok {
+		return nil, nil, fmt.Errorf("param: %s does not instantiate key %s", ground, t.Key)
+	}
+	w := &core.Workflow{}
+	for _, d := range t.Deps {
+		inst := SubstExpr(d, b)
+		if !Ground(inst) {
+			return nil, nil, fmt.Errorf("param: instance %s not ground", inst)
+		}
+		w.Deps = append(w.Deps, inst)
+	}
+	return w, b, nil
+}

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/actor"
+	"repro/internal/algebra"
+	"repro/internal/simnet"
+)
+
+// Step is one action of an agent's script: attempt an event after a
+// think delay, then continue — or, if the attempt is rejected, switch
+// to the OnReject continuation (e.g. "if commit is refused, abort").
+type Step struct {
+	Sym    algebra.Symbol
+	Forced bool
+	Think  simnet.Time
+	// OnReject replaces the remaining script when this step's attempt
+	// is rejected.
+	OnReject []Step
+}
+
+// AgentScript is a serial task agent: it attempts its steps one at a
+// time, each after the previous decision arrives (paper §2: the agent
+// requests permission for controllable events and reports the rest).
+type AgentScript struct {
+	ID    string
+	Site  simnet.SiteID
+	Steps []Step
+}
+
+// At is a convenience constructor for a step.
+func At(sym algebra.Symbol, think simnet.Time) Step {
+	return Step{Sym: sym, Think: think}
+}
+
+// agentTick is the timer payload that fires an agent's next attempt.
+type agentTick struct {
+	agent *agentRun
+}
+
+// agentRun executes one script.
+type agentRun struct {
+	script *AgentScript
+	sub    Submitter
+	host   *siteHost
+	queue  []Step
+	done   bool
+	// sentAt is when the outstanding attempt left the agent; used for
+	// the agent-perceived decision latency.
+	sentAt simnet.Time
+	// onLatency, when set, receives each attempt's round-trip latency.
+	onLatency func(simnet.Time)
+}
+
+func newAgentRun(script *AgentScript, sub Submitter, host *siteHost) *agentRun {
+	return &agentRun{
+		script: script,
+		sub:    sub,
+		host:   host,
+		queue:  append([]Step(nil), script.Steps...),
+	}
+}
+
+// start schedules the first attempt.
+func (a *agentRun) start(n *simnet.Network) {
+	a.scheduleNext(n)
+}
+
+func (a *agentRun) scheduleNext(n *simnet.Network) {
+	if len(a.queue) == 0 {
+		a.done = true
+		return
+	}
+	n.After(a.script.Site, a.queue[0].Think, agentTick{agent: a})
+}
+
+func (a *agentRun) onTick(n *simnet.Network, _ agentTick) {
+	if len(a.queue) == 0 {
+		return
+	}
+	step := a.queue[0]
+	key := step.Sym.Key()
+	if other, taken := a.host.agents[key]; taken && other != a {
+		panic(fmt.Sprintf("sched: two agents await the same event %s", key))
+	}
+	a.host.agents[key] = a
+	a.sentAt = n.Now()
+	a.sub.Attempt(n, a.script.Site, step.Sym, step.Forced, a.script.Site)
+}
+
+func (a *agentRun) onDecision(n *simnet.Network, d actor.DecisionMsg) {
+	if len(a.queue) == 0 || !a.queue[0].Sym.Equal(d.Sym) {
+		return // stale duplicate (e.g. re-acknowledged attempt)
+	}
+	step := a.queue[0]
+	delete(a.host.agents, step.Sym.Key())
+	if a.onLatency != nil {
+		a.onLatency(n.Now() - a.sentAt)
+	}
+	if d.Accepted {
+		a.queue = a.queue[1:]
+	} else {
+		a.queue = append([]Step(nil), step.OnReject...)
+	}
+	a.scheduleNext(n)
+}

@@ -1,0 +1,247 @@
+// Package simnet is a deterministic discrete-event network simulator:
+// the substrate on which the distributed scheduler's actors exchange
+// messages.
+//
+// The paper's prototype ran on a heterogeneous distributed testbed; we
+// substitute a simulated network so that every experiment is
+// reproducible bit-for-bit (see DESIGN.md, Substitutions).  The
+// simulator provides:
+//
+//   - named sites, each with a message handler,
+//   - configurable per-link latency with seeded jitter, so remote
+//     messages genuinely race,
+//   - a global logical clock and a total delivery order (time, then
+//     sequence number), giving the "consistent view of the temporal
+//     order of events" the paper's execution mechanism requires,
+//   - message statistics (total, remote, per-site) for the benchmark
+//     harness.
+//
+// The simulator is single-goroutine by design: determinism is a
+// feature of the experiments, not a concurrency shortcut.  The Network
+// type is not safe for concurrent use.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Time is simulated time in microseconds.
+type Time int64
+
+// SiteID names a site.
+type SiteID string
+
+// Message is a unit of communication between sites.
+type Message struct {
+	From, To SiteID
+	// Payload is the protocol-specific content.
+	Payload any
+	// Sent and Deliver are the send and delivery times.
+	Sent, Deliver Time
+	seq           uint64
+}
+
+// Handler consumes messages delivered to a site.
+type Handler interface {
+	// Handle processes a delivered message.  It may send further
+	// messages and schedule timers via the Network.
+	Handle(n *Network, m Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(n *Network, m Message)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(n *Network, m Message) { f(n, m) }
+
+// LatencyModel computes message latencies.
+type LatencyModel struct {
+	// Local is the latency between co-located endpoints (same site).
+	Local Time
+	// Remote is the base latency between distinct sites.
+	Remote Time
+	// Jitter is the maximum additional random latency for remote
+	// messages (uniform, seeded).
+	Jitter Time
+}
+
+// DefaultLatency models a LAN: 5µs local, 500µs remote ±200µs.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{Local: 5, Remote: 500, Jitter: 200}
+}
+
+// Stats aggregates message counts.
+type Stats struct {
+	// Messages is the total number of messages delivered.
+	Messages int
+	// Remote counts messages between distinct sites.
+	Remote int
+	// PerSite counts deliveries per destination site.
+	PerSite map[SiteID]int
+	// PeakQueue is the largest number of in-flight messages observed.
+	PeakQueue int
+}
+
+// Network is the simulator.  Create with New, register sites, inject
+// initial messages or timers, then Run.
+type Network struct {
+	now     Time
+	queue   eventQueue
+	sites   map[SiteID]Handler
+	rng     *rand.Rand
+	latency LatencyModel
+	stats   Stats
+	seq     uint64
+	// occurrences issues globally ordered occurrence indices.
+	occurrences int64
+	// trace optionally receives a line per delivery for debugging.
+	Trace func(m Message)
+}
+
+// New creates a network with the given latency model and deterministic
+// seed.
+func New(lat LatencyModel, seed int64) *Network {
+	return &Network{
+		sites:   make(map[SiteID]Handler),
+		rng:     rand.New(rand.NewSource(seed)),
+		latency: lat,
+		stats:   Stats{PerSite: make(map[SiteID]int)},
+	}
+}
+
+// AddSite registers a site.  Registering the same id twice panics: it
+// is always a programming error.
+func (n *Network) AddSite(id SiteID, h Handler) {
+	if _, dup := n.sites[id]; dup {
+		panic(fmt.Sprintf("simnet: duplicate site %q", id))
+	}
+	n.sites[id] = h
+}
+
+// Now returns the current simulated time.
+func (n *Network) Now() Time { return n.now }
+
+// NextOccurrence issues the next global occurrence index.  Event
+// occurrences are stamped with these to provide the total temporal
+// order the guard evaluation relies on.
+func (n *Network) NextOccurrence() int64 {
+	n.occurrences++
+	return n.occurrences
+}
+
+// Send enqueues a message from one site to another; latency follows
+// the model (deterministic given the seed).
+func (n *Network) Send(from, to SiteID, payload any) {
+	var lat Time
+	if from == to {
+		lat = n.latency.Local
+	} else {
+		lat = n.latency.Remote
+		if n.latency.Jitter > 0 {
+			lat += Time(n.rng.Int63n(int64(n.latency.Jitter) + 1))
+		}
+	}
+	n.push(Message{From: from, To: to, Payload: payload, Sent: n.now, Deliver: n.now + lat})
+}
+
+// After schedules a timer: the payload is delivered to the site after
+// the delay.
+func (n *Network) After(site SiteID, delay Time, payload any) {
+	n.push(Message{From: site, To: site, Payload: payload, Sent: n.now, Deliver: n.now + delay})
+}
+
+func (n *Network) push(m Message) {
+	m.seq = n.seq
+	n.seq++
+	heap.Push(&n.queue, m)
+	if len(n.queue) > n.stats.PeakQueue {
+		n.stats.PeakQueue = len(n.queue)
+	}
+}
+
+// Step delivers the next message.  It reports false when the queue is
+// empty.
+func (n *Network) Step() bool {
+	if len(n.queue) == 0 {
+		return false
+	}
+	m := heap.Pop(&n.queue).(Message)
+	if m.Deliver < n.now {
+		panic("simnet: time went backwards")
+	}
+	n.now = m.Deliver
+	h, ok := n.sites[m.To]
+	if !ok {
+		panic(fmt.Sprintf("simnet: message to unknown site %q", m.To))
+	}
+	n.stats.Messages++
+	if m.From != m.To {
+		n.stats.Remote++
+	}
+	n.stats.PerSite[m.To]++
+	if n.Trace != nil {
+		n.Trace(m)
+	}
+	h.Handle(n, m)
+	return true
+}
+
+// Run processes messages until quiescence or until maxSteps deliveries
+// (0 = unlimited).  It returns the number of deliveries.
+func (n *Network) Run(maxSteps int) int {
+	steps := 0
+	for n.Step() {
+		steps++
+		if maxSteps > 0 && steps >= maxSteps {
+			break
+		}
+	}
+	return steps
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (n *Network) Stats() Stats {
+	cp := n.stats
+	cp.PerSite = make(map[SiteID]int, len(n.stats.PerSite))
+	for k, v := range n.stats.PerSite {
+		cp.PerSite[k] = v
+	}
+	return cp
+}
+
+// Sites returns the registered site ids, sorted.
+func (n *Network) Sites() []SiteID {
+	out := make([]SiteID, 0, len(n.sites))
+	for id := range n.sites {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Idle reports whether no messages are in flight.
+func (n *Network) Idle() bool { return len(n.queue) == 0 }
+
+// eventQueue is a min-heap ordered by (Deliver, seq); the sequence
+// number makes delivery deterministic for simultaneous messages.
+type eventQueue []Message
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].Deliver != q[j].Deliver {
+		return q[i].Deliver < q[j].Deliver
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(Message)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	m := old[n-1]
+	*q = old[:n-1]
+	return m
+}

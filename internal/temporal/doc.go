@@ -1,0 +1,29 @@
+// Package temporal implements 𝒯, the temporal language in which
+// guards on events are expressed (paper §4.1), together with the
+// machinery the distributed scheduler needs:
+//
+//   - a general abstract syntax (Node) with model checking u ⊨_i F
+//     over maximal traces, used to verify Figure 3, Examples 7 and 8,
+//     and — in tests — the correctness of every simplification,
+//   - a guard normal form (Formula): a sum of products of temporal
+//     literals □e ("e has occurred"), ◇(e1·…·ek) ("the events occur,
+//     in this order, somewhere on the trace"), and ¬e ("e has not
+//     occurred yet"),
+//   - a simplifier (consensus + absorption over entailment between
+//     literals) strong enough to reach the paper's closed forms, e.g.
+//     G(D_<, e) = ¬f and G(D_<, f) = ◇ē + □e from Example 9,
+//   - three-valued evaluation of formulas against partial knowledge
+//     (package actor's information state), and message-driven
+//     reduction per §4.3: a □e announcement rewrites □e and ◇e to ⊤
+//     and ¬e to 0; a ◇e promise rewrites only ◇e; a □ē (or ◇ē)
+//     announcement rewrites □e and ◇e to 0 and ¬e to ⊤.
+//
+// The semantics is over maximal traces (U_𝒯): traces on which every
+// event of the alphabet occurs in exactly one polarity.  Atoms are
+// stable — once an event has occurred it stays occurred — which
+// validates □e = e and makes every coerced ℰ-expression monotone in
+// the trace index; consequently ◇E for an ℰ-expression E holds at any
+// index iff the whole trace satisfies E, and ◇ distributes over both +
+// and |.  These facts, asserted by the paper in Example 8, are
+// verified exhaustively in the tests.
+package temporal

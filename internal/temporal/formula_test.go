@@ -1,0 +1,368 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+func lit(kind LitKind, keys ...string) Literal {
+	syms := make([]algebra.Symbol, len(keys))
+	for i, k := range keys {
+		syms[i] = sym(k)
+	}
+	switch kind {
+	case LitOccurred:
+		return Occurred(syms[0])
+	case LitNotYet:
+		return NotYet(syms[0])
+	default:
+		return Eventually(syms...)
+	}
+}
+
+func TestLiteralKeys(t *testing.T) {
+	cases := []struct {
+		l    Literal
+		want string
+	}{
+		{Occurred(sym("e")), "[]e"},
+		{Occurred(sym("~e")), "[]~e"},
+		{NotYet(sym("f")), "!f"},
+		{Eventually(sym("e")), "<>(e)"},
+		{Eventually(sym("e"), sym("f")), "<>(e . f)"},
+	}
+	for _, c := range cases {
+		if c.l.Key() != c.want {
+			t.Errorf("key: got %q want %q", c.l.Key(), c.want)
+		}
+	}
+}
+
+// TestLiteralEvalAtAgainstNode: literal model checking agrees with the
+// general evaluator on every (trace, index).
+func TestLiteralEvalAtAgainstNode(t *testing.T) {
+	a := algebra.NewAlphabet()
+	for _, n := range []string{"e", "f", "g"} {
+		a.AddPair(algebra.Sym(n))
+	}
+	mu := algebra.MaximalUniverse(a)
+	lits := []Literal{
+		Occurred(sym("e")), Occurred(sym("~e")),
+		NotYet(sym("e")), NotYet(sym("~f")),
+		Eventually(sym("e")), Eventually(sym("~g")),
+		Eventually(sym("e"), sym("f")),
+		Eventually(sym("e"), sym("f"), sym("g")),
+		Eventually(sym("f"), sym("~g")),
+	}
+	for _, l := range lits {
+		n := l.Node()
+		for _, u := range mu {
+			for i := 0; i <= len(u); i++ {
+				if got, want := l.EvalAt(u, i), Eval(u, i, n); got != want {
+					t.Fatalf("%s at (%v,%d): EvalAt=%v Node=%v", l, u, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEntailmentSound: every entailment the simplifier uses holds on
+// every (maximal trace, index).
+func TestEntailmentSound(t *testing.T) {
+	a := algebra.NewAlphabet()
+	for _, n := range []string{"e", "f", "g"} {
+		a.AddPair(algebra.Sym(n))
+	}
+	mu := algebra.MaximalUniverse(a)
+	var lits []Literal
+	for _, k := range []string{"e", "~e", "f", "~f"} {
+		lits = append(lits, Occurred(sym(k)), NotYet(sym(k)), Eventually(sym(k)))
+	}
+	lits = append(lits,
+		Eventually(sym("e"), sym("f")),
+		Eventually(sym("f"), sym("e")),
+		Eventually(sym("e"), sym("f"), sym("g")),
+		Eventually(sym("~e"), sym("f")),
+	)
+	for _, l := range lits {
+		for _, m := range lits {
+			if !l.entails(m) {
+				continue
+			}
+			for _, u := range mu {
+				for i := 0; i <= len(u); i++ {
+					if l.EvalAt(u, i) && !m.EvalAt(u, i) {
+						t.Fatalf("claimed %s ⇒ %s fails at (%v,%d)", l, m, u, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestComplementarySoundAndUseful: every complementary pair really
+// sums to ⊤, and the known pairs are detected.
+func TestComplementarySoundAndUseful(t *testing.T) {
+	a := algebra.NewAlphabet()
+	for _, n := range []string{"e", "f"} {
+		a.AddPair(algebra.Sym(n))
+	}
+	mu := algebra.MaximalUniverse(a)
+	var lits []Literal
+	for _, k := range []string{"e", "~e", "f", "~f"} {
+		lits = append(lits, Occurred(sym(k)), NotYet(sym(k)), Eventually(sym(k)))
+	}
+	lits = append(lits, Eventually(sym("e"), sym("f")))
+	for _, l := range lits {
+		for _, m := range lits {
+			if !complementary(l, m) {
+				continue
+			}
+			for _, u := range mu {
+				for i := 0; i <= len(u); i++ {
+					if !l.EvalAt(u, i) && !m.EvalAt(u, i) {
+						t.Fatalf("claimed %s + %s = ⊤ fails at (%v,%d)", l, m, u, i)
+					}
+				}
+			}
+		}
+	}
+	want := [][2]Literal{
+		{NotYet(sym("e")), Occurred(sym("e"))},
+		{NotYet(sym("e")), Eventually(sym("e"))},
+		{NotYet(sym("e")), NotYet(sym("~e"))},
+		{Eventually(sym("e")), Eventually(sym("~e"))},
+	}
+	for _, p := range want {
+		if !complementary(p[0], p[1]) || !complementary(p[1], p[0]) {
+			t.Errorf("pair %s / %s must be complementary", p[0], p[1])
+		}
+	}
+}
+
+func TestProductContradictions(t *testing.T) {
+	cases := []struct {
+		name string
+		lits []Literal
+		ok   bool
+	}{
+		{"□e & ¬e", []Literal{Occurred(sym("e")), NotYet(sym("e"))}, false},
+		{"□e & □ē", []Literal{Occurred(sym("e")), Occurred(sym("~e"))}, false},
+		{"□e & ◇ē", []Literal{Occurred(sym("e")), Eventually(sym("~e"))}, false},
+		{"◇e & ◇ē", []Literal{Eventually(sym("e")), Eventually(sym("~e"))}, false},
+		{"order cycle", []Literal{Eventually(sym("e"), sym("f")), Eventually(sym("f"), sym("e"))}, false},
+		{"¬f & □e & ◇(f·e)", []Literal{NotYet(sym("f")), Occurred(sym("e")), Eventually(sym("f"), sym("e"))}, false},
+		{"unsat seq", []Literal{Eventually(sym("e"), sym("~e"))}, false},
+		{"□e & ◇e fine (dedupes)", []Literal{Occurred(sym("e")), Eventually(sym("e"))}, true},
+		{"¬e & ◇e fine", []Literal{NotYet(sym("e")), Eventually(sym("e"))}, true},
+		{"chained orders fine", []Literal{Eventually(sym("e"), sym("f")), Eventually(sym("f"), sym("g"))}, true},
+	}
+	for _, c := range cases {
+		_, ok := newProduct(c.lits)
+		if ok != c.ok {
+			t.Errorf("%s: ok=%v want %v", c.name, ok, c.ok)
+		}
+	}
+}
+
+// TestProductContradictionSemantics: whenever newProduct reports a
+// contradiction, no (trace, index) satisfies the conjunction.
+func TestProductContradictionSemantics(t *testing.T) {
+	a := algebra.NewAlphabet()
+	for _, n := range []string{"e", "f"} {
+		a.AddPair(algebra.Sym(n))
+	}
+	mu := algebra.MaximalUniverse(a)
+	var pool []Literal
+	for _, k := range []string{"e", "~e", "f", "~f"} {
+		pool = append(pool, Occurred(sym(k)), NotYet(sym(k)), Eventually(sym(k)))
+	}
+	pool = append(pool, Eventually(sym("e"), sym("f")), Eventually(sym("f"), sym("e")))
+	r := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + r.Intn(4)
+		lits := make([]Literal, n)
+		for i := range lits {
+			lits[i] = pool[r.Intn(len(pool))]
+		}
+		_, ok := newProduct(lits)
+		if ok {
+			continue
+		}
+		for _, u := range mu {
+			for i := 0; i <= len(u); i++ {
+				all := true
+				for _, l := range lits {
+					if !l.EvalAt(u, i) {
+						all = false
+						break
+					}
+				}
+				if all {
+					t.Fatalf("product %v declared contradictory but satisfied at (%v,%d)", lits, u, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFormulaBasics(t *testing.T) {
+	if !TrueF().IsTrue() || TrueF().Key() != "T" {
+		t.Error("TrueF malformed")
+	}
+	if !FalseF().IsFalse() || FalseF().Key() != "0" {
+		t.Error("FalseF malformed")
+	}
+	if !Or(FalseF(), FalseF()).IsFalse() {
+		t.Error("0+0 must be 0")
+	}
+	if !And(TrueF(), TrueF()).IsTrue() {
+		t.Error("⊤|⊤ must be ⊤")
+	}
+	if !Or(Lit(NotYet(sym("f"))), TrueF()).IsTrue() {
+		t.Error("⊤ absorbs any sum")
+	}
+	if !And(Lit(NotYet(sym("f"))), FalseF()).IsFalse() {
+		t.Error("0 absorbs any product")
+	}
+}
+
+// TestExample9Simplifications drives the simplifier with the exact
+// intermediate sums that arise when computing the guards of Example 9,
+// checking it reaches the paper's closed forms.
+func TestExample9Simplifications(t *testing.T) {
+	f, fb := sym("f"), sym("~f")
+	e, eb := sym("e"), sym("~e")
+
+	// G(D_<, e): (¬f|¬f̄|◇f̄) + (¬f|¬f̄|◇f) + □f̄  →  ¬f.
+	g := Or(
+		product(NotYet(f), NotYet(fb), Eventually(fb)),
+		product(NotYet(f), NotYet(fb), Eventually(f)),
+		product(Occurred(fb)),
+	)
+	if want := Lit(NotYet(f)); !g.Equal(want) {
+		t.Errorf("G(D_<,e): got %q want %q", g.Key(), want.Key())
+	}
+
+	// G(D_<, f): (◇ē|¬e|¬ē) + □e + □ē  →  ◇ē + □e.
+	g = Or(
+		product(Eventually(eb), NotYet(e), NotYet(eb)),
+		product(Occurred(e)),
+		product(Occurred(eb)),
+	)
+	if want := Or(Lit(Eventually(eb)), Lit(Occurred(e))); !g.Equal(want) {
+		t.Errorf("G(D_<,f): got %q want %q", g.Key(), want.Key())
+	}
+
+	// G(D_<, ē): (¬f|¬f̄) + □f + □f̄  →  ⊤.
+	g = Or(
+		product(NotYet(f), NotYet(fb)),
+		product(Occurred(f)),
+		product(Occurred(fb)),
+	)
+	if !g.IsTrue() {
+		t.Errorf("G(D_<,ē): got %q want T", g.Key())
+	}
+
+	// Example 11: (◇f|¬f|¬f̄) + □f  →  ◇f.
+	g = Or(
+		product(Eventually(f), NotYet(f), NotYet(fb)),
+		product(Occurred(f)),
+	)
+	if want := Lit(Eventually(f)); !g.Equal(want) {
+		t.Errorf("G(D_→,e): got %q want %q", g.Key(), want.Key())
+	}
+}
+
+// TestCanonPreservesSemantics: simplification never changes the guard
+// on any (maximal trace, index).
+func TestCanonPreservesSemantics(t *testing.T) {
+	a := algebra.NewAlphabet()
+	for _, n := range []string{"e", "f"} {
+		a.AddPair(algebra.Sym(n))
+	}
+	mu := algebra.MaximalUniverse(a)
+	var pool []Literal
+	for _, k := range []string{"e", "~e", "f", "~f"} {
+		pool = append(pool, Occurred(sym(k)), NotYet(sym(k)), Eventually(sym(k)))
+	}
+	pool = append(pool, Eventually(sym("e"), sym("f")), Eventually(sym("f"), sym("e")))
+	r := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 300; iter++ {
+		var fs []Formula
+		nProds := 1 + r.Intn(3)
+		var raw [][]Literal
+		for p := 0; p < nProds; p++ {
+			n := 1 + r.Intn(3)
+			lits := make([]Literal, n)
+			for i := range lits {
+				lits[i] = pool[r.Intn(len(pool))]
+			}
+			raw = append(raw, lits)
+			fs = append(fs, product(lits...))
+		}
+		got := Or(fs...)
+		for _, u := range mu {
+			for i := 0; i <= len(u); i++ {
+				want := false
+				for _, lits := range raw {
+					all := true
+					for _, l := range lits {
+						if !l.EvalAt(u, i) {
+							all = false
+							break
+						}
+					}
+					if all {
+						want = true
+						break
+					}
+				}
+				if got.EvalAt(u, i) != want {
+					t.Fatalf("iter %d: canon changed semantics at (%v,%d): raw=%v got=%q",
+						iter, u, i, raw, got.Key())
+				}
+			}
+		}
+	}
+}
+
+// TestDiamondExprAgreesWithSatisfaction: ◇E holds at every index iff
+// the trace satisfies E.
+func TestDiamondExprAgreesWithSatisfaction(t *testing.T) {
+	a := algebra.NewAlphabet()
+	for _, n := range []string{"e", "f", "g"} {
+		a.AddPair(algebra.Sym(n))
+	}
+	mu := algebra.MaximalUniverse(a)
+	exprs := []string{
+		"0", "T", "e", "~e", "e . f", "e + f", "e | f",
+		"~e + ~f + e . f", "e . f . g", "(e + f) . g", "e . f | g . f",
+		"~f + f",
+	}
+	for _, src := range exprs {
+		expr := algebra.MustParse(src)
+		d := DiamondExpr(expr)
+		for _, u := range mu {
+			want := u.Satisfies(expr)
+			for i := 0; i <= len(u); i++ {
+				if got := d.EvalAt(u, i); got != want {
+					t.Fatalf("◇(%s) at (%v,%d): got %v want %v (formula %q)", src, u, i, got, want, d.Key())
+				}
+			}
+		}
+	}
+}
+
+func TestFormulaSymbolsAndSize(t *testing.T) {
+	g := Or(product(Occurred(sym("e")), NotYet(sym("f"))), Lit(Eventually(sym("~g"))))
+	if got := g.Size(); got != 3 {
+		t.Errorf("size: got %d want 3", got)
+	}
+	syms := g.Symbols()
+	if len(syms) != 3 {
+		t.Fatalf("symbols: got %v", syms)
+	}
+}

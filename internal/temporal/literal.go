@@ -1,0 +1,234 @@
+package temporal
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+)
+
+// LitKind discriminates guard literals.
+type LitKind uint8
+
+// Guard literal kinds.
+const (
+	// LitOccurred is □s: event s has occurred (and, by stability,
+	// stays occurred).
+	LitOccurred LitKind = iota
+	// LitNotYet is ¬s: event s has not occurred yet (it may still).
+	LitNotYet
+	// LitEventually is ◇(s1·…·sk): all of s1…sk occur on the trace, in
+	// that order.  With k = 1 this is plain ◇s.  Because coerced
+	// ℰ-formulas are monotone in the trace index, this literal is
+	// index-independent.
+	LitEventually
+)
+
+// Literal is one atomic conjunct of a guard.  Literals are immutable
+// values ordered by their canonical key.
+type Literal struct {
+	kind LitKind
+	syms []algebra.Symbol // exactly 1 unless kind == LitEventually
+	key  string
+}
+
+// Occurred returns the literal □s.
+func Occurred(s algebra.Symbol) Literal {
+	l := Literal{kind: LitOccurred, syms: []algebra.Symbol{s}}
+	l.key = "[]" + s.Key()
+	return l
+}
+
+// NotYet returns the literal ¬s.
+func NotYet(s algebra.Symbol) Literal {
+	l := Literal{kind: LitNotYet, syms: []algebra.Symbol{s}}
+	l.key = "!" + s.Key()
+	return l
+}
+
+// Eventually returns the literal ◇(s1·…·sk); it panics on an empty
+// symbol list (◇ of the empty sequence is ⊤ and has no literal form).
+func Eventually(syms ...algebra.Symbol) Literal {
+	if len(syms) == 0 {
+		panic("temporal: Eventually requires at least one symbol")
+	}
+	cp := append([]algebra.Symbol(nil), syms...)
+	parts := make([]string, len(cp))
+	for i, s := range cp {
+		parts[i] = s.Key()
+	}
+	return Literal{kind: LitEventually, syms: cp, key: "<>(" + strings.Join(parts, " . ") + ")"}
+}
+
+// Kind returns the literal kind.
+func (l Literal) Kind() LitKind { return l.kind }
+
+// Syms returns the literal's symbols (shared; do not mutate).
+func (l Literal) Syms() []algebra.Symbol { return l.syms }
+
+// Sym returns the single symbol of a □ or ¬ literal.
+func (l Literal) Sym() algebra.Symbol {
+	if l.kind == LitEventually && len(l.syms) != 1 {
+		panic("temporal: Sym on a multi-symbol ◇ literal")
+	}
+	return l.syms[0]
+}
+
+// Key returns the canonical text form: "[]e", "!e", "<>(e . f)".
+func (l Literal) Key() string { return l.key }
+
+// String implements fmt.Stringer.
+func (l Literal) String() string { return l.key }
+
+// unsat reports whether the literal alone is unsatisfiable: a ◇
+// sequence that repeats an event or mentions an event together with
+// its complement.
+func (l Literal) unsat() bool {
+	if l.kind != LitEventually {
+		return false
+	}
+	seen := make(map[string]bool, len(l.syms))
+	for _, s := range l.syms {
+		k, ck := s.Key(), s.Complement().Key()
+		if seen[k] || seen[ck] {
+			return true
+		}
+		seen[k] = true
+	}
+	return false
+}
+
+// entails reports l ⇒ m over maximal traces at every index.  The
+// entailments used (each verified by model checking in the tests):
+//
+//	l ⇒ l
+//	□s ⇒ ◇s            occurrence implies eventual occurrence
+//	□s ⇒ ¬s̄            s occurred, so s̄ never occurs, so ¬s̄ always
+//	◇seq ⇒ ◇seq'        when seq' is an order-subsequence of seq
+//	◇seq ⇒ ¬s̄           for every s in seq
+func (l Literal) entails(m Literal) bool {
+	if l.key == m.key {
+		return true
+	}
+	switch l.kind {
+	case LitOccurred:
+		s := l.syms[0]
+		switch m.kind {
+		case LitEventually:
+			return len(m.syms) == 1 && m.syms[0].Equal(s)
+		case LitNotYet:
+			return m.syms[0].Equal(s.Complement())
+		}
+	case LitEventually:
+		switch m.kind {
+		case LitEventually:
+			return isSubsequence(m.syms, l.syms)
+		case LitNotYet:
+			for _, s := range l.syms {
+				if m.syms[0].Equal(s.Complement()) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isSubsequence reports whether sub occurs within seq preserving
+// order.
+func isSubsequence(sub, seq []algebra.Symbol) bool {
+	i := 0
+	for _, s := range seq {
+		if i < len(sub) && s.Equal(sub[i]) {
+			i++
+		}
+	}
+	return i == len(sub)
+}
+
+// complementary reports l + m ≡ ⊤ over maximal traces at every index.
+// The complementary pairs (verified by model checking in the tests):
+//
+//	¬s + □s     an event has occurred or it has not
+//	¬s + ◇s     not occurred yet, or occurs somewhere on the trace
+//	¬s + ¬s̄     never have both an event and its complement occurred
+//	◇s + ◇s̄     on a maximal trace one of them eventually occurs
+func complementary(l, m Literal) bool {
+	single := func(x Literal) (algebra.Symbol, bool) {
+		if len(x.syms) == 1 {
+			return x.syms[0], true
+		}
+		return algebra.Symbol{}, false
+	}
+	ls, lok := single(l)
+	ms, mok := single(m)
+	if !lok || !mok {
+		return false
+	}
+	switch {
+	case l.kind == LitNotYet && m.kind == LitOccurred,
+		l.kind == LitOccurred && m.kind == LitNotYet:
+		occ, not := l, m
+		if l.kind == LitNotYet {
+			occ, not = m, l
+		}
+		return occ.syms[0].Equal(not.syms[0])
+	case l.kind == LitNotYet && m.kind == LitEventually,
+		l.kind == LitEventually && m.kind == LitNotYet:
+		ev, not := l, m
+		if l.kind == LitNotYet {
+			ev, not = m, l
+		}
+		return ev.syms[0].Equal(not.syms[0])
+	case l.kind == LitNotYet && m.kind == LitNotYet:
+		return ls.Equal(ms.Complement())
+	case l.kind == LitEventually && m.kind == LitEventually:
+		return ls.Equal(ms.Complement())
+	}
+	return false
+}
+
+// EvalAt model-checks the literal at index i of trace u (positions
+// 0-based; "occurred by i" means position < i).  Used by the tests and
+// by the centralized schedulers, which see the global trace.
+func (l Literal) EvalAt(u algebra.Trace, i int) bool {
+	switch l.kind {
+	case LitOccurred:
+		idx := u.Index(l.syms[0])
+		return idx >= 0 && idx < i
+	case LitNotYet:
+		idx := u.Index(l.syms[0])
+		return idx < 0 || idx >= i
+	case LitEventually:
+		prev := -1
+		for _, s := range l.syms {
+			idx := u.Index(s)
+			if idx < 0 || idx <= prev {
+				return false
+			}
+			prev = idx
+		}
+		return true
+	}
+	panic(fmt.Sprintf("temporal: invalid literal kind %v", l.kind))
+}
+
+// Node converts the literal to the general 𝒯 syntax.
+func (l Literal) Node() *Node {
+	switch l.kind {
+	case LitOccurred:
+		return Box(Atom(l.syms[0]))
+	case LitNotYet:
+		return Neg(Atom(l.syms[0]))
+	case LitEventually:
+		atoms := make([]*Node, len(l.syms))
+		for i, s := range l.syms {
+			atoms[i] = Atom(s)
+		}
+		if len(atoms) == 1 {
+			return Dia(atoms[0])
+		}
+		return Dia(SeqN(atoms...))
+	}
+	panic("temporal: invalid literal kind")
+}

@@ -1,0 +1,207 @@
+package temporal
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+)
+
+// NodeKind discriminates general 𝒯 abstract-syntax nodes.
+type NodeKind uint8
+
+// Node kinds, mirroring Syntax 5–6 of the paper.
+const (
+	NTrue  NodeKind = iota // ⊤
+	NFalse                 // 0
+	NAtom                  // event symbol, coerced from ℰ (Semantics 7)
+	NSum                   // E1 + E2 (or)
+	NProd                  // E1 | E2 (and)
+	NSeq                   // E1 · E2 (Semantics 9)
+	NBox                   // □E (Semantics 12)
+	NDia                   // ◇E (Semantics 13)
+	NNeg                   // ¬E (Semantics 14)
+)
+
+// Node is a formula of the full temporal language 𝒯.  Nodes exist for
+// specification-level reasoning and for verifying the guard normal
+// form; the scheduler works with Formula values instead.
+type Node struct {
+	Kind NodeKind
+	Sym  algebra.Symbol // NAtom
+	Subs []*Node        // operands
+}
+
+// TrueNode returns the ⊤ node.
+func TrueNode() *Node { return &Node{Kind: NTrue} }
+
+// FalseNode returns the 0 node.
+func FalseNode() *Node { return &Node{Kind: NFalse} }
+
+// Atom returns the coerced event atom.
+func Atom(s algebra.Symbol) *Node { return &Node{Kind: NAtom, Sym: s} }
+
+// Sum returns the disjunction of the operands.
+func Sum(subs ...*Node) *Node { return &Node{Kind: NSum, Subs: subs} }
+
+// Prod returns the conjunction of the operands.
+func Prod(subs ...*Node) *Node { return &Node{Kind: NProd, Subs: subs} }
+
+// SeqN returns the temporal sequence E1·E2·… (Semantics 9, n-ary).
+func SeqN(subs ...*Node) *Node { return &Node{Kind: NSeq, Subs: subs} }
+
+// Box returns □E.
+func Box(e *Node) *Node { return &Node{Kind: NBox, Subs: []*Node{e}} }
+
+// Dia returns ◇E.
+func Dia(e *Node) *Node { return &Node{Kind: NDia, Subs: []*Node{e}} }
+
+// Neg returns ¬E.
+func Neg(e *Node) *Node { return &Node{Kind: NNeg, Subs: []*Node{e}} }
+
+// FromExpr coerces an ℰ-expression into 𝒯 (Syntax 5).
+func FromExpr(e *algebra.Expr) *Node {
+	switch e.Kind() {
+	case algebra.KZero:
+		return FalseNode()
+	case algebra.KTop:
+		return TrueNode()
+	case algebra.KAtom:
+		return Atom(e.Symbol())
+	case algebra.KSeq:
+		return SeqN(fromExprs(e.Subs())...)
+	case algebra.KChoice:
+		return Sum(fromExprs(e.Subs())...)
+	case algebra.KConj:
+		return Prod(fromExprs(e.Subs())...)
+	}
+	panic(fmt.Sprintf("temporal: invalid expression kind %v", e.Kind()))
+}
+
+func fromExprs(es []*algebra.Expr) []*Node {
+	out := make([]*Node, len(es))
+	for i, e := range es {
+		out[i] = FromExpr(e)
+	}
+	return out
+}
+
+// String renders the node with explicit operators: "[]e" for □e,
+// "<>e" for ◇e, "!e" for ¬e.
+func (n *Node) String() string {
+	switch n.Kind {
+	case NTrue:
+		return "T"
+	case NFalse:
+		return "0"
+	case NAtom:
+		return n.Sym.Key()
+	case NBox:
+		return "[]" + paren(n.Subs[0])
+	case NDia:
+		return "<>" + paren(n.Subs[0])
+	case NNeg:
+		return "!" + paren(n.Subs[0])
+	case NSum, NProd, NSeq:
+		op := map[NodeKind]string{NSum: " + ", NProd: " | ", NSeq: " . "}[n.Kind]
+		parts := make([]string, len(n.Subs))
+		for i, s := range n.Subs {
+			parts[i] = paren(s)
+		}
+		return strings.Join(parts, op)
+	}
+	return "?"
+}
+
+func paren(n *Node) string {
+	switch n.Kind {
+	case NTrue, NFalse, NAtom, NBox, NDia, NNeg:
+		return n.String()
+	}
+	return "(" + n.String() + ")"
+}
+
+// Eval model-checks u ⊨_i F per Semantics 7–14.  The index i counts
+// the events that have occurred: i = 0 is the initial moment, i =
+// len(u) the final one.  Top-level calls should pass maximal traces
+// (u.MaximalOver(alphabet)); the recursion itself works on any valid
+// trace, matching the paper's note that recursive calls may see
+// non-maximal suffixes.
+func Eval(u algebra.Trace, i int, n *Node) bool {
+	if i < 0 || i > len(u) {
+		panic(fmt.Sprintf("temporal: index %d out of range for trace of size %d", i, len(u)))
+	}
+	switch n.Kind {
+	case NTrue:
+		return true
+	case NFalse:
+		return false
+	case NAtom:
+		// Semantics 7: ∃j ≤ i with u_j the atom (stability).
+		idx := u.Index(n.Sym)
+		return idx >= 0 && idx < i
+	case NSum:
+		for _, s := range n.Subs {
+			if Eval(u, i, s) {
+				return true
+			}
+		}
+		return false
+	case NProd:
+		for _, s := range n.Subs {
+			if !Eval(u, i, s) {
+				return false
+			}
+		}
+		return true
+	case NSeq:
+		return evalSeq(u, i, n.Subs)
+	case NBox:
+		// Semantics 12: ∀j ≥ i.
+		for j := i; j <= len(u); j++ {
+			if !Eval(u, j, n.Subs[0]) {
+				return false
+			}
+		}
+		return true
+	case NDia:
+		// Semantics 13: ∃j ≥ i.
+		for j := i; j <= len(u); j++ {
+			if Eval(u, j, n.Subs[0]) {
+				return true
+			}
+		}
+		return false
+	case NNeg:
+		return !Eval(u, i, n.Subs[0])
+	}
+	panic(fmt.Sprintf("temporal: invalid node kind %v", n.Kind))
+}
+
+// evalSeq implements the n-ary generalization of Semantics 9:
+// u ⊨_i E1·E2 iff ∃j ≤ i: u ⊨_j E1 ∧ u^j ⊨_{i−j} E2, where u^j is the
+// suffix of u from index j.
+func evalSeq(u algebra.Trace, i int, parts []*Node) bool {
+	if len(parts) == 1 {
+		return Eval(u, i, parts[0])
+	}
+	for j := 0; j <= i; j++ {
+		if Eval(u, j, parts[0]) && evalSeq(u[j:], i-j, parts[1:]) {
+			return true
+		}
+	}
+	return false
+}
+
+// EquivalentOver reports whether two nodes agree at every index of
+// every trace of the given set (typically a maximal universe).
+func EquivalentOver(a, b *Node, traces []algebra.Trace) bool {
+	for _, u := range traces {
+		for i := 0; i <= len(u); i++ {
+			if Eval(u, i, a) != Eval(u, i, b) {
+				return false
+			}
+		}
+	}
+	return true
+}

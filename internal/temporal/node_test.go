@@ -1,0 +1,175 @@
+package temporal
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+func sym(k string) algebra.Symbol {
+	s, err := algebra.ParseSymbol(k)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestFigure3 reproduces the table of Figure 3: the truth of ¬e, □e,
+// ◇e, ¬ē, □ē, ◇ē on the traces ⟨e⟩ and ⟨ē⟩ at indices 0 and 1.
+func TestFigure3(t *testing.T) {
+	e := sym("e")
+	eb := sym("~e")
+	formulas := []struct {
+		name string
+		n    *Node
+		// columns: (⟨e⟩,0) (⟨e⟩,1) (⟨ē⟩,0) (⟨ē⟩,1)
+		want [4]bool
+	}{
+		{"!e", Neg(Atom(e)), [4]bool{true, false, true, true}},
+		{"[]e", Box(Atom(e)), [4]bool{false, true, false, false}},
+		{"<>e", Dia(Atom(e)), [4]bool{true, true, false, false}},
+		{"!~e", Neg(Atom(eb)), [4]bool{true, true, true, false}},
+		{"[]~e", Box(Atom(eb)), [4]bool{false, false, false, true}},
+		{"<>~e", Dia(Atom(eb)), [4]bool{false, false, true, true}},
+	}
+	cols := []struct {
+		u algebra.Trace
+		i int
+	}{
+		{algebra.T("e"), 0},
+		{algebra.T("e"), 1},
+		{algebra.T("~e"), 0},
+		{algebra.T("~e"), 1},
+	}
+	for _, f := range formulas {
+		for c, col := range cols {
+			if got := Eval(col.u, col.i, f.n); got != f.want[c] {
+				t.Errorf("%s at (%v,%d): got %v want %v", f.name, col.u, col.i, got, f.want[c])
+			}
+		}
+	}
+}
+
+// TestExample7 checks the index-wise judgments of Example 7 on
+// u = ⟨e f g⟩.  (The paper's text lists "u ⊨_2 e·g"; under the formal
+// Semantics 7–9 the satisfied formula at index 2 is e·f, with e·g
+// holding from index 3 — see EXPERIMENTS.md.)
+func TestExample7(t *testing.T) {
+	u := algebra.T("e", "f", "g")
+	e, f, g := Atom(sym("e")), Atom(sym("f")), Atom(sym("g"))
+
+	checks := []struct {
+		name string
+		i    int
+		n    *Node
+		want bool
+	}{
+		{"◇g at 0", 0, Dia(g), true},
+		{"¬e|¬f|¬g at 0", 0, Prod(Neg(e), Neg(f), Neg(g)), true},
+		{"◇(f·g) at 0", 0, Dia(SeqN(f, g)), true},
+		{"□e|¬f|¬g at 1", 1, Prod(Box(e), Neg(f), Neg(g)), true},
+		{"e·g at 1", 1, SeqN(e, g), false},
+		{"e·f at 2", 2, SeqN(e, f), true},
+		{"e·g at 2", 2, SeqN(e, g), false},
+		{"e·g at 3", 3, SeqN(e, g), true},
+	}
+	for _, c := range checks {
+		if got := Eval(u, c.i, c.n); got != c.want {
+			t.Errorf("%s: got %v want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestExample8 verifies identities (a)–(f) of Example 8 over every
+// maximal trace and index for Γ = {e, ē} (and a larger alphabet for
+// good measure).
+func TestExample8(t *testing.T) {
+	for _, names := range [][]string{{"e"}, {"e", "f"}} {
+		a := algebra.NewAlphabet()
+		for _, n := range names {
+			a.AddPair(algebra.Sym(n))
+		}
+		mu := algebra.MaximalUniverse(a)
+		e := sym("e")
+		eb := sym("~e")
+
+		cases := []struct {
+			name  string
+			lhs   *Node
+			rhs   *Node
+			equal bool
+		}{
+			{"(a) □e+□ē ≠ ⊤", Sum(Box(Atom(e)), Box(Atom(eb))), TrueNode(), false},
+			{"(b) ◇e+◇ē = ⊤", Sum(Dia(Atom(e)), Dia(Atom(eb))), TrueNode(), true},
+			{"(c) ◇e|◇ē = 0", Prod(Dia(Atom(e)), Dia(Atom(eb))), FalseNode(), true},
+			{"(d) ◇e+□ē ≠ ⊤", Sum(Dia(Atom(e)), Box(Atom(eb))), TrueNode(), false},
+			{"(e1) ¬e+□e = ⊤", Sum(Neg(Atom(e)), Box(Atom(e))), TrueNode(), true},
+			{"(e2) ¬e|□e = 0", Prod(Neg(Atom(e)), Box(Atom(e))), FalseNode(), true},
+			{"(f) ¬e+□ē = ¬e", Sum(Neg(Atom(e)), Box(Atom(eb))), Neg(Atom(e)), true},
+		}
+		for _, c := range cases {
+			if got := EquivalentOver(c.lhs, c.rhs, mu); got != c.equal {
+				t.Errorf("Γ=%v %s: equivalence got %v want %v", names, c.name, got, c.equal)
+			}
+		}
+	}
+}
+
+// TestStability verifies the paper's stability claims: □e = e under
+// coercion, but □¬e ≠ ¬e.
+func TestStability(t *testing.T) {
+	a := algebra.NewAlphabet()
+	a.AddPair(algebra.Sym("e"))
+	a.AddPair(algebra.Sym("f"))
+	mu := algebra.MaximalUniverse(a)
+	e := Atom(sym("e"))
+	if !EquivalentOver(Box(e), e, mu) {
+		t.Error("□e must equal e under stability")
+	}
+	if EquivalentOver(Box(Neg(e)), Neg(e), mu) {
+		t.Error("□¬e must differ from ¬e")
+	}
+	// □e entails ◇e.
+	if !EquivalentOver(Sum(Neg(Box(e)), Dia(e)), TrueNode(), mu) {
+		t.Error("□e must entail ◇e")
+	}
+}
+
+// TestCoercionAgreesWithTraceSemantics: an ℰ-expression coerced into 𝒯
+// and evaluated at the final index agrees with the algebra's trace
+// satisfaction; and coerced formulas are monotone in the index.
+func TestCoercionAgreesWithTraceSemantics(t *testing.T) {
+	a := algebra.NewAlphabet()
+	for _, n := range []string{"e", "f", "g"} {
+		a.AddPair(algebra.Sym(n))
+	}
+	mu := algebra.MaximalUniverse(a)
+	exprs := []string{
+		"e", "~e", "e . f", "e + f", "e | f", "~e + ~f + e . f",
+		"e . f . g", "(e + f) . g", "e . f | g", "T", "0",
+	}
+	for _, src := range exprs {
+		expr := algebra.MustParse(src)
+		n := FromExpr(expr)
+		for _, u := range mu {
+			if got, want := Eval(u, len(u), n), u.Satisfies(expr); got != want {
+				t.Errorf("%q on %v: coerced %v, algebra %v", src, u, got, want)
+			}
+			prev := false
+			for i := 0; i <= len(u); i++ {
+				cur := Eval(u, i, n)
+				if prev && !cur {
+					t.Errorf("%q on %v: not monotone at index %d", src, u, i)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	n := Sum(Prod(Box(Atom(sym("e"))), Neg(Atom(sym("f")))), Dia(SeqN(Atom(sym("e")), Atom(sym("f")))))
+	if got := n.String(); got != "([]e | !f) + <>(e . f)" {
+		t.Errorf("String: got %q", got)
+	}
+}

@@ -1,0 +1,97 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseFormulaBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Formula
+	}{
+		{"T", TrueF()},
+		{"0", FalseF()},
+		{"!f", Lit(NotYet(sym("f")))},
+		{"[]e", Lit(Occurred(sym("e")))},
+		{"<>(e)", Lit(Eventually(sym("e")))},
+		{"<>(e . f)", Lit(Eventually(sym("e"), sym("f")))},
+		{"<>(~e) + []e", Or(Lit(Eventually(sym("~e"))), Lit(Occurred(sym("e"))))},
+		{"!c_buy | <>(c_buy) + !c_buy | <>(s_cancel)", Or(
+			And(Lit(NotYet(sym("c_buy"))), Lit(Eventually(sym("c_buy")))),
+			And(Lit(NotYet(sym("c_buy"))), Lit(Eventually(sym("s_cancel")))),
+		)},
+		{"[]g[y1] | !f[?y]", And(Lit(Occurred(sym("g[y1]"))), Lit(NotYet(sym("f[?y]"))))},
+		{"T + !f", TrueF()},   // simplifier applies
+		{"0 | []e", FalseF()}, // absorbing
+	}
+	for _, c := range cases {
+		got, err := ParseFormula(c.src)
+		if err != nil {
+			t.Errorf("ParseFormula(%q): %v", c.src, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("ParseFormula(%q): got %q want %q", c.src, got.Key(), c.want.Key())
+		}
+	}
+}
+
+func TestParseFormulaErrors(t *testing.T) {
+	bad := []string{
+		"", "+", "[]", "!", "<>", "<>(", "<>()", "<>(e", "[]e []f",
+		"!e !!", "Zebra", "[]e + ", "<>(e .)",
+	}
+	for _, src := range bad {
+		if _, err := ParseFormula(src); err == nil {
+			t.Errorf("ParseFormula(%q): expected error", src)
+		}
+	}
+}
+
+// TestParseFormulaRoundTrip: Key ∘ ParseFormula is the identity on the
+// canonical forms of random guards.
+func TestParseFormulaRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	var pool []Literal
+	for _, k := range []string{"e", "~e", "f", "~f", "g"} {
+		pool = append(pool, Occurred(sym(k)), NotYet(sym(k)), Eventually(sym(k)))
+	}
+	pool = append(pool, Eventually(sym("e"), sym("f")), Eventually(sym("g"), sym("~f")))
+	for i := 0; i < 300; i++ {
+		var fs []Formula
+		for pIdx := 0; pIdx < 1+r.Intn(3); pIdx++ {
+			lits := make([]Literal, 1+r.Intn(3))
+			for j := range lits {
+				lits[j] = pool[r.Intn(len(pool))]
+			}
+			fs = append(fs, product(lits...))
+		}
+		f := Or(fs...)
+		back, err := ParseFormula(f.Key())
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", f.Key(), err)
+		}
+		if !back.Equal(f) {
+			t.Fatalf("round trip: %q → %q", f.Key(), back.Key())
+		}
+	}
+}
+
+// TestParseGuardTableOutputs: the compiled travel guards (as printed by
+// wfc) re-parse to themselves.
+func TestParseGuardTableOutputs(t *testing.T) {
+	for _, key := range []string{
+		"!f", "<>(~e) + []e", "<>(f)",
+		"!c_buy | <>(c_buy) + !c_buy | <>(s_cancel)",
+		"<>(~s_cancel) | []c_book",
+	} {
+		f, err := ParseFormula(key)
+		if err != nil {
+			t.Fatalf("%q: %v", key, err)
+		}
+		if f.Key() != key {
+			t.Fatalf("%q re-canonicalized to %q", key, f.Key())
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package temporal
+
+import "sort"
+
+// canon normalizes a sum of products into the canonical minimal form
+// used by Formula: it removes unsatisfiable and absorbed products and
+// closes the sum under consensus on complementary literal pairs.
+//
+// Consensus is the DNF analogue of resolution: if one product is
+// R1 ∪ {l1}, another R2 ∪ {l2}, and l1 + l2 ≡ ⊤, then the sum also
+// covers R1 ∪ R2, which may absorb both originals.  Together with the
+// entailment-aware absorption this computes forms like
+//
+//	(¬f|¬f̄|◇f̄) + (¬f|◇f) + □f̄  →  ¬f
+//
+// exactly as the paper reduces G(D_<, e) in Example 9.  The literal
+// universe is fixed (consensus only recombines existing literals), so
+// the closure terminates.
+func canon(prods []Product) Formula {
+	work := map[string]Product{}
+	var queue []Product
+	add := func(p Product) {
+		if _, ok := work[p.key]; ok {
+			return
+		}
+		work[p.key] = p
+		queue = append(queue, p)
+	}
+	for _, p := range prods {
+		add(p)
+	}
+
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if _, live := work[p.key]; !live {
+			continue
+		}
+		for _, q := range snapshot(work) {
+			if q.key == p.key {
+				continue
+			}
+			for _, r := range consensusAll(p, q) {
+				add(r)
+			}
+		}
+	}
+
+	// Absorption: drop any product that entails another (it is a
+	// special case of the weaker one).  On mutual entailment keep the
+	// lexicographically smaller key.
+	all := snapshot(work)
+	kept := make([]Product, 0, len(all))
+	for i, p := range all {
+		absorbed := false
+		for j, q := range all {
+			if i == j {
+				continue
+			}
+			if p.entailsProduct(q) {
+				if q.entailsProduct(p) && q.key > p.key {
+					continue // p is the canonical representative
+				}
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			kept = append(kept, p)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].key < kept[j].key })
+
+	f := Formula{prods: kept}
+	switch {
+	case len(kept) == 0:
+		f.key = "0"
+	case len(kept) == 1 && len(kept[0].lits) == 0:
+		f.key = "T"
+	default:
+		// An empty product anywhere makes the sum ⊤ and absorbs the
+		// rest (the empty product entails every product? no — every
+		// product entails the empty product, so absorption already
+		// removed the others when ⊤ is present).
+		keys := make([]string, len(kept))
+		for i, p := range kept {
+			keys[i] = p.key
+		}
+		f.key = joinKeys(keys)
+	}
+	return f
+}
+
+func joinKeys(keys []string) string {
+	out := keys[0]
+	for _, k := range keys[1:] {
+		out += " + " + k
+	}
+	return out
+}
+
+func snapshot(m map[string]Product) []Product {
+	out := make([]Product, 0, len(m))
+	for _, p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// consensusAll returns every consensus product of p and q over
+// complementary literal pairs.
+func consensusAll(p, q Product) []Product {
+	var out []Product
+	for _, l1 := range p.lits {
+		for _, l2 := range q.lits {
+			if !complementary(l1, l2) {
+				continue
+			}
+			merged := make([]Literal, 0, len(p.lits)+len(q.lits)-2)
+			for _, l := range p.lits {
+				if l.key != l1.key {
+					merged = append(merged, l)
+				}
+			}
+			for _, l := range q.lits {
+				if l.key != l2.key {
+					merged = append(merged, l)
+				}
+			}
+			if r, ok := newProduct(merged); ok {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}

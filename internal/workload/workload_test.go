@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// TestSuiteRunsOnAllSchedulers: every workload of the suite completes
+// on every scheduler with a legal, maximal trace.
+func TestSuiteRunsOnAllSchedulers(t *testing.T) {
+	for _, wl := range Suite() {
+		for _, kind := range sched.Kinds() {
+			r, err := sched.Run(wl.Config(kind, 2026))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", wl.Name, kind, err)
+			}
+			if len(r.Unresolved) != 0 {
+				t.Errorf("%s/%s: unresolved %v (trace %v)", wl.Name, kind, r.Unresolved, r.Trace)
+				continue
+			}
+			if !r.Satisfied {
+				t.Errorf("%s/%s: trace %v violates the workflow", wl.Name, kind, r.Trace)
+			}
+			if !r.Trace.MaximalOver(wl.Workflow.Alphabet()) {
+				t.Errorf("%s/%s: trace %v not maximal", wl.Name, kind, r.Trace)
+			}
+		}
+	}
+}
+
+// TestChainOrdering: in-order chains realize all events in order.
+func TestChainOrdering(t *testing.T) {
+	wl := Chain(6, 3)
+	r, err := sched.Run(wl.Config(sched.Distributed, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	count := 0
+	for _, s := range r.Trace {
+		if s.Bar {
+			t.Errorf("no complement should occur in an in-order chain: %v", r.Trace)
+		}
+		idx := int(s.Name[1]-'0')*100 + int(s.Name[2]-'0')*10 + int(s.Name[3]-'0')
+		if idx <= prev {
+			t.Fatalf("chain out of order: %v", r.Trace)
+		}
+		prev = idx
+		count++
+	}
+	if count != 6 {
+		t.Fatalf("all 6 chain events must occur, got %v", r.Trace)
+	}
+}
+
+// TestReverseChainParks: the reverse chain forces parking but still
+// completes correctly.
+func TestReverseChainParks(t *testing.T) {
+	wl := ReverseChain(5, 2)
+	r, err := sched.Run(wl.Config(sched.Distributed, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Satisfied || len(r.Unresolved) != 0 {
+		t.Fatalf("reverse chain: satisfied=%v unresolved=%v trace=%v",
+			r.Satisfied, r.Unresolved, r.Trace)
+	}
+}
+
+// TestTravelIndependence: the n-instance travel workflow decomposes
+// into alphabet-disjoint dependencies, so compilation decomposes.
+func TestTravelIndependence(t *testing.T) {
+	wl := Travel(3)
+	if len(wl.Workflow.Deps) != 9 {
+		t.Fatalf("deps: %d", len(wl.Workflow.Deps))
+	}
+	c, err := core.Compile(wl.Workflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Guards) != 2*5*3 {
+		t.Fatalf("guards: %d", len(c.Guards))
+	}
+	// Instances must not interfere: instance 0's c_buy guard mentions
+	// only instance 0 events.
+	eg := c.Guards["c_buy000"]
+	if eg == nil {
+		t.Fatal("guard for c_buy000 missing")
+	}
+	for _, w := range eg.Watches {
+		if w.Name[len(w.Name)-3:] != "000" {
+			t.Fatalf("cross-instance watch: %v", w)
+		}
+	}
+}
+
+// TestRandomDeterministic: the same seed yields the same workflow.
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(5, 8, 3, 2)
+	b := Random(5, 8, 3, 2)
+	if len(a.Workflow.Deps) != len(b.Workflow.Deps) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Workflow.Deps {
+		if !a.Workflow.Deps[i].Equal(b.Workflow.Deps[i]) {
+			t.Fatalf("dep %d differs", i)
+		}
+	}
+}
+
+// TestGeneratorShapes sanity-checks sizes.
+func TestGeneratorShapes(t *testing.T) {
+	if got := len(Chain(10, 2).Workflow.Deps); got != 9 {
+		t.Errorf("chain deps: %d", got)
+	}
+	if got := len(Fan(7, 2).Workflow.Deps); got != 7 {
+		t.Errorf("fan deps: %d", got)
+	}
+	if got := len(Diamond(5, 2).Workflow.Deps); got != 10 {
+		t.Errorf("diamond deps: %d", got)
+	}
+	if got := len(Diamond(5, 2).Workflow.Alphabet().Bases()); got != 7 {
+		t.Errorf("diamond events: %d", got)
+	}
+}
