@@ -1,0 +1,30 @@
+# Pre-merge gate: everything here must pass before a change lands.
+#
+#   make ci        build, vet, full test suite, race suite
+#   make test      full test suite only
+#   make race      race-detector suite over the concurrent packages
+#   make bench     the P* cost benchmarks (informational)
+
+GO ?= go
+
+.PHONY: ci build vet test race bench
+
+ci: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The packages with real concurrency: the parallel guard-synthesis
+# pipeline (core), the goroutine transport (livenet), and the actor
+# protocol they drive.
+race:
+	$(GO) test -race ./internal/core ./internal/livenet ./internal/actor
+
+bench:
+	$(GO) test -bench 'BenchmarkP' -benchtime 1x ./...

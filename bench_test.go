@@ -143,6 +143,39 @@ func BenchmarkP1Compile(b *testing.B) {
 	}
 }
 
+// BenchmarkP1Parallel: precompilation with the guard-synthesis worker
+// pool versus the sequential path, across the workload sweep.  The
+// parallel path scales with GOMAXPROCS while producing bit-identical
+// guard tables (see TestCompileParallelEquivalence); run with
+// -cpu 1,2,4,8 to see the sweep.
+func BenchmarkP1Parallel(b *testing.B) {
+	wls := []*workload.Workload{
+		workload.Chain(32, 1),
+		workload.Diamond(8, 1),
+		workload.Travel(8),
+		workload.Random(24, 32, 7, 1),
+	}
+	for _, wl := range wls {
+		wl := wl
+		b.Run("seq/"+wl.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CompileWith(wl.Workflow, core.CompileOptions{Parallelism: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("par/"+wl.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CompileWith(wl.Workflow, core.CompileOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkP2Schedulers: one full travel run per scheduler kind as
 // instances grow (messages and latency are reported by wfbench; here
 // the CPU cost of the whole simulation).

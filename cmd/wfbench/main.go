@@ -7,6 +7,7 @@
 //	wfbench                # run everything
 //	wfbench -exp E9        # run one experiment
 //	wfbench -list          # list experiments
+//	wfbench -j 4 -exp P1   # bound the guard-synthesis worker pool
 package main
 
 import (
@@ -20,7 +21,9 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment id (default: all)")
 	list := flag.Bool("list", false, "list experiments")
+	par := flag.Int("j", 0, "guard synthesis parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+	bench.Parallelism = *par
 
 	if *list {
 		for _, e := range bench.All() {

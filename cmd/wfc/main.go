@@ -6,9 +6,11 @@
 //
 // Usage:
 //
-//	wfc [-fsm] [-per-dep] [file.wf]
+//	wfc [-fsm] [-per-dep] [-j N] [file.wf]
 //
-// With no file, the spec is read from stdin.
+// With no file, the spec is read from stdin.  -j bounds the guard
+// synthesis worker pool (0 = GOMAXPROCS, 1 = sequential); the output
+// is bit-identical at any setting.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 func main() {
 	fsm := flag.Bool("fsm", false, "print each dependency's residuation state machine (Figure 2)")
 	perDep := flag.Bool("per-dep", false, "print per-dependency guard contributions")
+	par := flag.Int("j", 0, "guard synthesis parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -37,18 +40,18 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, os.Stdout, *fsm, *perDep); err != nil {
+	if err := run(in, os.Stdout, *fsm, *perDep, *par); err != nil {
 		fatal(err)
 	}
 }
 
 // run compiles the spec read from in and writes the report to out.
-func run(in io.Reader, out io.Writer, fsm, perDep bool) error {
+func run(in io.Reader, out io.Writer, fsm, perDep bool, parallelism int) error {
 	s, err := spec.Parse(in)
 	if err != nil {
 		return err
 	}
-	c, err := core.Compile(s.Workflow)
+	c, err := core.CompileWith(s.Workflow, core.CompileOptions{Parallelism: parallelism})
 	if err != nil {
 		return err
 	}
@@ -63,7 +66,7 @@ func run(in io.Reader, out io.Writer, fsm, perDep bool) error {
 	}
 
 	fmt.Fprintln(out, "\nguard table:")
-	for _, eg := range c.Events() {
+	for _, eg := range c.EventGuards() {
 		fmt.Fprintf(out, "  G(%s) = %s\n", eg.Event.Key(), eg.Guard.Key())
 		if perDep {
 			idxs := make([]int, 0, len(eg.PerDep))

@@ -14,7 +14,7 @@ func TestRunTravelSpec(t *testing.T) {
 	}
 	defer f.Close()
 	var out bytes.Buffer
-	if err := run(f, &out, true, true); err != nil {
+	if err := run(f, &out, true, true, 0); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -32,12 +32,40 @@ func TestRunTravelSpec(t *testing.T) {
 	}
 }
 
+// TestRunGolden locks the full wfc report — guard table, per-dep
+// contributions, state machines, and synthesis statistics — against a
+// golden file, at every parallelism setting.  Any nondeterministic map
+// iteration in the compiler or printer, or any divergence between the
+// sequential and parallel synthesis paths, breaks this test.
+func TestRunGolden(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/travel.wf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("../../testdata/travel.wfc.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 0, 4} {
+		for round := 0; round < 3; round++ {
+			var out bytes.Buffer
+			if err := run(bytes.NewReader(src), &out, true, true, par); err != nil {
+				t.Fatal(err)
+			}
+			if out.String() != string(want) {
+				t.Fatalf("-j %d round %d: output differs from golden file\ngot:\n%s",
+					par, round, out.String())
+			}
+		}
+	}
+}
+
 func TestRunBadSpec(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("dep e +"), &out, false, false); err == nil {
+	if err := run(strings.NewReader("dep e +"), &out, false, false, 0); err == nil {
 		t.Fatal("bad spec must error")
 	}
-	if err := run(strings.NewReader("dep 0"), &out, false, false); err == nil {
+	if err := run(strings.NewReader("dep 0"), &out, false, false, 0); err == nil {
 		t.Fatal("unsatisfiable dependency must error")
 	}
 }

@@ -73,8 +73,11 @@ type (
 	Compiled = core.Compiled
 	// EventGuard is one event's compiled guard with provenance.
 	EventGuard = core.EventGuard
-	// Synthesizer computes guards with memoization.
+	// Synthesizer computes guards with memoization; it is safe for
+	// concurrent use.
 	Synthesizer = core.Synthesizer
+	// CompileOptions configures compilation (worker-pool parallelism).
+	CompileOptions = core.CompileOptions
 )
 
 // Execution types (see internal/sched and internal/simnet).
@@ -171,8 +174,15 @@ func NewWorkflow(deps ...*Expr) *Workflow { return core.NewWorkflow(deps...) }
 
 // Compile synthesizes the guard of every event of the workflow
 // (Definition 2 of the paper), with the Theorem 2/4 independence
-// decompositions enabled.
+// decompositions enabled.  Synthesis fans out over GOMAXPROCS
+// goroutines; the result is bit-identical to a sequential compile.
 func Compile(w *Workflow) (*Compiled, error) { return core.Compile(w) }
+
+// CompileWith is Compile with explicit options, e.g. to bound or
+// disable (Parallelism: 1) the synthesis worker pool.
+func CompileWith(w *Workflow, opts CompileOptions) (*Compiled, error) {
+	return core.CompileWith(w, opts)
+}
 
 // GuardOf computes G(D, e): the guard on event e due to dependency D.
 func GuardOf(d *Expr, e Symbol) Guard { return core.Guard(d, e) }

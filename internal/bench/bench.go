@@ -96,6 +96,7 @@ func All() []Experiment {
 		{"P5", P5, "scheduler comparison across the workload suite"},
 		{"P6", P6, "ablation: consensus elimination for ¬ literals"},
 		{"P7", P7, "latency sensitivity: decision latency vs remote-link cost"},
+		{"P8", P8, "parallel vs sequential guard synthesis (worker pool)"},
 	}
 }
 

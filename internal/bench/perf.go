@@ -11,6 +11,17 @@ import (
 	"repro/internal/workload"
 )
 
+// Parallelism bounds the guard-synthesis worker pool used by the
+// compile-time experiments: 0 selects GOMAXPROCS, 1 compiles
+// sequentially.  The wfbench -j flag sets it; the compiled output is
+// bit-identical at any setting.
+var Parallelism int
+
+// compileOpts returns the experiment-wide compile options.
+func compileOpts() core.CompileOptions {
+	return core.CompileOptions{Parallelism: Parallelism}
+}
+
 // P1 measures guard synthesis (precompilation) cost as the chain
 // length grows: wall time, synthesis calls, and total guard size.
 func P1() *Table {
@@ -22,7 +33,7 @@ func P1() *Table {
 	for _, n := range []int{4, 8, 16, 32, 64} {
 		wl := workload.Chain(n, 1)
 		start := time.Now()
-		c, err := core.Compile(wl.Workflow)
+		c, err := core.CompileWith(wl.Workflow, compileOpts())
 		if err != nil {
 			panic(err)
 		}
@@ -247,6 +258,81 @@ func P7() *Table {
 	t.Notes = append(t.Notes,
 		"centralized latency grows with the link cost on every decision; distributed decisions that stay within a site do not")
 	return t
+}
+
+// P8 compares sequential and parallel guard synthesis across the
+// workload sweep: the compile-time effect of the bounded worker pool,
+// with a bit-identity check of the two guard tables.  Speedup tracks
+// the machine's core count; on a single-core host the two paths tie.
+func P8() *Table {
+	t := &Table{
+		ID:     "P8",
+		Title:  "parallel vs sequential guard synthesis (bounded worker pool)",
+		Header: []string{"workload", "events", "seq compile", "par compile", "identical"},
+	}
+	for _, wl := range []*workload.Workload{
+		workload.Chain(32, 1),
+		workload.Diamond(8, 1),
+		workload.Travel(8),
+		workload.Random(24, 32, 7, 1),
+	} {
+		start := time.Now()
+		seq, err := core.CompileWith(wl.Workflow, core.CompileOptions{Parallelism: 1})
+		if err != nil {
+			panic(err)
+		}
+		tSeq := time.Since(start)
+		start = time.Now()
+		par, err := core.CompileWith(wl.Workflow, compileOpts())
+		if err != nil {
+			panic(err)
+		}
+		tPar := time.Since(start)
+		t.Rows = append(t.Rows, []string{
+			wl.Name, fmt.Sprint(len(par.Guards)),
+			tSeq.Round(time.Microsecond).String(), tPar.Round(time.Microsecond).String(),
+			fmt.Sprint(CompiledEqual(seq, par)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"per-event synthesis is independent (Theorems 2/4), so the pool scales with cores while the output stays bit-identical")
+	return t
+}
+
+// CompiledEqual reports whether two compilations agree exactly:
+// same events, guard formulas, per-dependency contributions, watch
+// lists, LocalNeg sets, and synthesis statistics.
+func CompiledEqual(a, b *core.Compiled) bool {
+	if a.Stats != b.Stats || len(a.Guards) != len(b.Guards) {
+		return false
+	}
+	ags, bgs := a.EventGuards(), b.EventGuards()
+	for i, ag := range ags {
+		bg := bgs[i]
+		if !ag.Event.Equal(bg.Event) || !ag.Guard.Equal(bg.Guard) {
+			return false
+		}
+		if len(ag.PerDep) != len(bg.PerDep) || len(ag.Watches) != len(bg.Watches) ||
+			len(ag.LocalNeg) != len(bg.LocalNeg) {
+			return false
+		}
+		for d, g := range ag.PerDep {
+			if og, ok := bg.PerDep[d]; !ok || !g.Equal(og) {
+				return false
+			}
+		}
+		for j, w := range ag.Watches {
+			if !w.Equal(bg.Watches[j]) {
+				return false
+			}
+		}
+		for k := range ag.LocalNeg {
+			if !bg.LocalNeg[k] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // RunDistributedOnce executes one travel workload run, used by the

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/temporal"
@@ -94,22 +96,41 @@ type Compiled struct {
 	Stats SynthStats
 }
 
+// CompileOptions configures workflow compilation.
+type CompileOptions struct {
+	// Parallelism bounds the number of goroutines synthesizing event
+	// guards concurrently.  0 selects runtime.GOMAXPROCS(0); 1 compiles
+	// sequentially on the calling goroutine.  Whatever the setting, the
+	// compiled output — guard table, watch lists, LocalNeg sets, and
+	// synthesis statistics — is bit-identical: per-event synthesis is
+	// independent (Theorems 2/4), results are collected positionally in
+	// sorted symbol order, and the Synthesizer's duplicate-suppressing
+	// cache computes each memo key exactly once.
+	Parallelism int
+}
+
 // Compile computes the guard of every symbol in the workflow's
 // alphabet.  Per the paper (§4.2), the guard of an event due to a
 // workflow is the conjunction of its guards due to the dependencies
 // that mention the event (in either polarity); dependencies that do
-// not mention it leave it unconstrained.
+// not mention it leave it unconstrained.  Synthesis fans out over
+// GOMAXPROCS goroutines; use CompileWith to tune.
 func Compile(w *Workflow) (*Compiled, error) {
-	return compile(w, NewSynthesizer())
+	return compile(w, NewSynthesizer(), CompileOptions{})
+}
+
+// CompileWith is Compile with explicit options.
+func CompileWith(w *Workflow, opts CompileOptions) (*Compiled, error) {
+	return compile(w, NewSynthesizer(), opts)
 }
 
 // CompilePlain compiles without the Theorem 2/4 decompositions
 // (benchmark P3's baseline).
 func CompilePlain(w *Workflow) (*Compiled, error) {
-	return compile(w, NewPlainSynthesizer())
+	return compile(w, NewPlainSynthesizer(), CompileOptions{})
 }
 
-func compile(w *Workflow, sy *Synthesizer) (*Compiled, error) {
+func compile(w *Workflow, sy *Synthesizer, opts CompileOptions) (*Compiled, error) {
 	if len(w.Deps) == 0 {
 		return nil, fmt.Errorf("core: workflow has no dependencies")
 	}
@@ -118,27 +139,71 @@ func compile(w *Workflow, sy *Synthesizer) (*Compiled, error) {
 			return nil, fmt.Errorf("core: dependency %s is 0 (unsatisfiable)", w.Name(i))
 		}
 	}
-	c := &Compiled{Workflow: w, Guards: make(map[string]*EventGuard)}
-	for _, s := range w.Alphabet().Symbols() {
-		eg := &EventGuard{Event: s, PerDep: make(map[int]temporal.Formula)}
-		parts := []temporal.Formula{temporal.TrueF()}
-		for i, d := range w.Deps {
-			if !d.Gamma().HasEvent(s) {
-				continue
-			}
-			g := sy.Guard(d, s)
-			eg.PerDep[i] = g
-			parts = append(parts, g)
-		}
-		eg.Guard = temporal.And(parts...)
-		eg.Watches = watchList(eg.Guard, s)
-		c.Guards[s.Key()] = eg
+	syms := w.Alphabet().Symbols()
+	egs := make([]*EventGuard, len(syms))
+
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	for _, eg := range c.Guards {
+	if workers > len(syms) {
+		workers = len(syms)
+	}
+	if workers <= 1 {
+		for i, s := range syms {
+			egs[i] = synthesizeEvent(w, sy, s)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					egs[i] = synthesizeEvent(w, sy, syms[i])
+				}
+			}()
+		}
+		for i := range syms {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	c := &Compiled{Workflow: w, Guards: make(map[string]*EventGuard, len(egs))}
+	for _, eg := range egs {
+		c.Guards[eg.Event.Key()] = eg
+	}
+	// LocalNeg needs the full guard table, so it runs after the
+	// barrier; iteration is over the sorted accessor so any future
+	// order sensitivity cannot reintroduce nondeterminism.
+	for _, eg := range c.EventGuards() {
 		eg.LocalNeg = localNegSet(c, eg)
 	}
 	c.Stats = sy.Stats()
 	return c, nil
+}
+
+// synthesizeEvent compiles one symbol's guard: the conjunction of its
+// guards due to every dependency that mentions it.  It is called
+// concurrently by compile's worker pool; it only reads w and calls the
+// concurrency-safe Synthesizer.
+func synthesizeEvent(w *Workflow, sy *Synthesizer, s algebra.Symbol) *EventGuard {
+	eg := &EventGuard{Event: s, PerDep: make(map[int]temporal.Formula)}
+	parts := []temporal.Formula{temporal.TrueF()}
+	for i, d := range w.Deps {
+		if !d.Gamma().HasEvent(s) {
+			continue
+		}
+		g := sy.Guard(d, s)
+		eg.PerDep[i] = g
+		parts = append(parts, g)
+	}
+	eg.Guard = temporal.And(parts...)
+	eg.Watches = watchList(eg.Guard, s)
+	return eg
 }
 
 // localNegSet computes the consensus-elimination set of one event's
@@ -207,8 +272,11 @@ func (c *Compiled) GuardOf(s algebra.Symbol) temporal.Formula {
 	return temporal.TrueF()
 }
 
-// Events returns the guarded symbols sorted by key.
-func (c *Compiled) Events() []*EventGuard {
+// EventGuards returns the compiled guards sorted by event key: the
+// canonical deterministic iteration order.  Every consumer whose
+// output or analysis is order-sensitive (printers, traces, LocalNeg)
+// must range over this instead of the Guards map.
+func (c *Compiled) EventGuards() []*EventGuard {
 	out := make([]*EventGuard, 0, len(c.Guards))
 	for _, eg := range c.Guards {
 		out = append(out, eg)
@@ -216,6 +284,10 @@ func (c *Compiled) Events() []*EventGuard {
 	sort.Slice(out, func(i, j int) bool { return out[i].Event.Less(out[j].Event) })
 	return out
 }
+
+// Events returns the guarded symbols sorted by key.  It is retained
+// for compatibility; EventGuards is the canonical name.
+func (c *Compiled) Events() []*EventGuard { return c.EventGuards() }
 
 // TotalGuardSize returns the summed literal count of all guards, a
 // compilation-size metric for benchmark P1.

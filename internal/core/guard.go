@@ -1,6 +1,10 @@
 package core
 
 import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/algebra"
 	"repro/internal/temporal"
 )
@@ -17,53 +21,129 @@ type SynthStats struct {
 	Decompositions int
 }
 
-// Synthesizer computes guards with memoization.  The zero value is not
-// usable; call NewSynthesizer.  A Synthesizer is not safe for
-// concurrent use.
+// synthShards is the number of cache shards.  Sharding keeps lock
+// contention low when many goroutines synthesize guards concurrently;
+// a modest power of two suffices because each shard's critical section
+// is a single map operation.
+const synthShards = 32
+
+// synthShard is one mutex-protected slice of the memo cache.  Shard
+// maps are allocated lazily so the zero-value Synthesizer works.
+type synthShard struct {
+	mu sync.Mutex
+	m  map[string]*synthEntry
+}
+
+// synthEntry is one memoized guard.  The goroutine that inserts the
+// entry computes the formula and closes done; every other goroutine
+// that finds the entry waits on done before reading g.  This
+// duplicate-suppression ("singleflight") discipline computes every
+// distinct (D, e) key exactly once no matter how many goroutines race,
+// which both avoids wasted work and keeps SynthStats bit-identical to
+// a sequential run.
+type synthEntry struct {
+	done chan struct{}
+	g    temporal.Formula
+}
+
+// Synthesizer computes guards with memoization.
+//
+// Concurrency contract: a Synthesizer is safe for concurrent use by
+// multiple goroutines.  The memo cache is sharded and mutex-protected,
+// the statistics counters are atomic, and guard computation itself is
+// pure (package algebra expressions are immutable and package temporal
+// formulas are values; neither holds mutable package state).  Waiting
+// on an in-flight entry cannot deadlock because the memo keys form a
+// DAG: residuation strictly consumes the dependency, so no guard's
+// computation can (transitively) wait on itself.
+//
+// The zero value is ready to use and behaves like NewPlainSynthesizer
+// (no Theorem 2/4 decompositions); call NewSynthesizer for the
+// decomposing variant.
 type Synthesizer struct {
-	cache map[string]temporal.Formula
 	// decompose enables the Theorem 2/4 independence decompositions.
 	decompose bool
-	stats     SynthStats
+
+	calls          atomic.Int64
+	cacheHits      atomic.Int64
+	decompositions atomic.Int64
+
+	shards [synthShards]synthShard
 }
 
 // NewSynthesizer returns a Synthesizer with the Theorem 2/4
 // decompositions enabled.
 func NewSynthesizer() *Synthesizer {
-	return &Synthesizer{cache: make(map[string]temporal.Formula), decompose: true}
+	return &Synthesizer{decompose: true}
 }
 
 // NewPlainSynthesizer returns a Synthesizer that follows Definition 2
 // literally, without the independence decompositions (the ablation
 // baseline for benchmark P3).
 func NewPlainSynthesizer() *Synthesizer {
-	return &Synthesizer{cache: make(map[string]temporal.Formula)}
+	return &Synthesizer{}
 }
 
-// Stats returns the accumulated statistics.
-func (sy *Synthesizer) Stats() SynthStats { return sy.stats }
+// Stats returns the accumulated statistics.  The counts are
+// deterministic — equal to a sequential run's — even when Guard is
+// called concurrently, because each distinct memo key is computed
+// exactly once and every other lookup of it is a cache hit.
+func (sy *Synthesizer) Stats() SynthStats {
+	return SynthStats{
+		Calls:          int(sy.calls.Load()),
+		CacheHits:      int(sy.cacheHits.Load()),
+		Decompositions: int(sy.decompositions.Load()),
+	}
+}
 
 // Guard computes G(D, e) per Definition 2.  The result is a guard in
 // sum-of-products normal form, simplified to the paper's closed forms
-// where they exist.
+// where they exist.  Guard may be called from multiple goroutines
+// concurrently; results and statistics are identical to a sequential
+// run.
 func (sy *Synthesizer) Guard(d *algebra.Expr, e algebra.Symbol) temporal.Formula {
 	return sy.guard(algebra.CNF(d), e)
 }
 
+// guard is the memoized entry point: it resolves the (D, e) key
+// through the sharded cache, computing the guard at most once per key.
 func (sy *Synthesizer) guard(d *algebra.Expr, e algebra.Symbol) temporal.Formula {
 	key := d.Key() + " @ " + e.Key()
-	if g, ok := sy.cache[key]; ok {
-		sy.stats.CacheHits++
-		return g
-	}
-	sy.stats.Calls++
+	sh := &sy.shards[shardOf(key)]
 
-	var g temporal.Formula
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[string]*synthEntry)
+	}
+	if ent, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		<-ent.done
+		sy.cacheHits.Add(1)
+		return ent.g
+	}
+	ent := &synthEntry{done: make(chan struct{})}
+	sh.m[key] = ent
+	sh.mu.Unlock()
+
+	sy.calls.Add(1)
+	ent.g = sy.compute(d, e)
+	close(ent.done)
+	return ent.g
+}
+
+// shardOf maps a memo key to its cache shard (FNV-1a).
+func shardOf(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return h.Sum32() % synthShards
+}
+
+// compute synthesizes the guard for one memo key; it runs exactly once
+// per key, on the goroutine that won the cache insertion.
+func (sy *Synthesizer) compute(d *algebra.Expr, e algebra.Symbol) temporal.Formula {
 	if sy.decompose {
 		if dec, ok := sy.tryDecompose(d, e); ok {
-			g = dec
-			sy.cache[key] = g
-			return g
+			return dec
 		}
 	}
 
@@ -84,9 +164,7 @@ func (sy *Synthesizer) guard(d *algebra.Expr, e algebra.Symbol) temporal.Formula
 		terms = append(terms, temporal.And(temporal.Lit(temporal.Occurred(f)), sub))
 	}
 
-	g = temporal.Or(terms...)
-	sy.cache[key] = g
-	return g
+	return temporal.Or(terms...)
 }
 
 // tryDecompose applies Theorem 2 (for +) or Theorem 4 (for |): when
@@ -103,7 +181,7 @@ func (sy *Synthesizer) tryDecompose(d *algebra.Expr, e algebra.Symbol) (temporal
 	if len(groups) < 2 {
 		return temporal.Formula{}, false
 	}
-	sy.stats.Decompositions++
+	sy.decompositions.Add(1)
 	parts := make([]temporal.Formula, len(groups))
 	for i, grp := range groups {
 		var sub *algebra.Expr

@@ -74,6 +74,13 @@ func newLiveRig(t *testing.T, deps ...string) *liveRig {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return newLiveRigCompiled(c)
+}
+
+// newLiveRigCompiled builds the rig from an already-compiled guard
+// table, so tests can wire the parallel compilation pipeline straight
+// into the concurrent transport.
+func newLiveRigCompiled(c *core.Compiled) *liveRig {
 	r := &liveRig{net: New(), dir: actor.NewDirectory(), actors: map[string]*actor.Actor{}}
 	hooks := &actor.Hooks{
 		OnFire: func(s algebra.Symbol, _ int64, _ simnet.Time) {
@@ -184,6 +191,59 @@ func TestLiveTravel(t *testing.T) {
 		ib, ibuy := u.Index(sym("c_book")), u.Index(sym("c_buy"))
 		if ib >= 0 && ibuy >= 0 && ib > ibuy {
 			t.Fatalf("round %d: c_book after c_buy: %v", round, u)
+		}
+	}
+}
+
+// TestLiveParallelCompileThenRun exercises the full pipeline under the
+// race detector: guard synthesis fanned out over a worker pool,
+// followed by a genuinely concurrent run of the compiled actors.  The
+// parallel compilation must match the sequential one exactly, and the
+// realized trace must satisfy the workflow.
+func TestLiveParallelCompileThenRun(t *testing.T) {
+	deps := []string{
+		"~s_buy + s_book",
+		"~c_buy + c_book . c_buy",
+		"~c_book + c_buy + s_cancel",
+	}
+	w, err := core.ParseWorkflow(deps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := core.CompileWith(w, core.CompileOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		c, err := core.CompileWith(w, core.CompileOptions{Parallelism: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eg := range seq.EventGuards() {
+			if got := c.GuardOf(eg.Event); !got.Equal(eg.Guard) {
+				t.Fatalf("round %d: G(%s) = %s, sequential %s", round, eg.Event, got, eg.Guard)
+			}
+		}
+		r := newLiveRigCompiled(c)
+		var wg sync.WaitGroup
+		for _, k := range []string{"s_buy", "s_book", "c_book", "c_buy"} {
+			wg.Add(1)
+			go func(k string) {
+				defer wg.Done()
+				r.attempt(sym(k))
+			}(k)
+		}
+		wg.Wait()
+		if !r.net.WaitIdle(3 * time.Second) {
+			t.Fatal("did not quiesce")
+		}
+		r.net.Close()
+		u := r.snapshot()
+		if !u.Valid() {
+			t.Fatalf("round %d: invalid trace %v", round, u)
+		}
+		if u.MaximalOver(w.Alphabet()) && !core.SatisfiesAll(w, u) {
+			t.Fatalf("round %d: trace %v violates the workflow", round, u)
 		}
 	}
 }

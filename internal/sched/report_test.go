@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/simnet"
+)
+
+// TestReportMetricsEmptyTrace: a run that fired no events (an empty
+// trace, possibly with messages on the wire) must report zero for the
+// per-event and latency metrics — never NaN or ±Inf from a division by
+// zero.
+func TestReportMetricsEmptyTrace(t *testing.T) {
+	r := &Report{
+		Kind:  Distributed,
+		Stats: simnet.Stats{Messages: 42, Remote: 7},
+	}
+	if got := r.MessagesPerEvent(); got != 0 {
+		t.Errorf("MessagesPerEvent on empty trace: got %v, want 0", got)
+	}
+	if math.IsNaN(r.MessagesPerEvent()) || math.IsInf(r.MessagesPerEvent(), 0) {
+		t.Error("MessagesPerEvent must not be NaN/Inf")
+	}
+	if got := r.AvgLatency(); got != 0 {
+		t.Errorf("AvgLatency with no decisions: got %v, want 0", got)
+	}
+	if got := r.MaxLatency(); got != 0 {
+		t.Errorf("MaxLatency with no decisions: got %v, want 0", got)
+	}
+}
+
+// TestReportMetricsNonEmpty: the same metrics on a populated report.
+func TestReportMetricsNonEmpty(t *testing.T) {
+	r := &Report{
+		Trace:          algebra.T("e", "f"),
+		Stats:          simnet.Stats{Messages: 6},
+		AgentLatencies: []simnet.Time{10, 30},
+	}
+	if got := r.MessagesPerEvent(); got != 3 {
+		t.Errorf("MessagesPerEvent: got %v, want 3", got)
+	}
+	if got := r.AvgLatency(); got != 20 {
+		t.Errorf("AvgLatency: got %v, want 20", got)
+	}
+	if got := r.MaxLatency(); got != 30 {
+		t.Errorf("MaxLatency: got %v, want 30", got)
+	}
+}
