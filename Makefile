@@ -1,15 +1,16 @@
 # Pre-merge gate: everything here must pass before a change lands.
 #
-#   make ci        build, vet, full test suite, race suite
-#   make test      full test suite only
-#   make race      race-detector suite over the concurrent packages
-#   make bench     the P* cost benchmarks (informational)
+#   make ci          build, vet, full test suite, race suite, bench smoke
+#   make test        full test suite only
+#   make race        race-detector suite over the concurrent packages
+#   make benchsmoke  compile-and-run every benchmark once
+#   make bench       the P* cost benchmarks (informational)
 
 GO ?= go
 
-.PHONY: ci build vet test race bench
+.PHONY: ci build vet test race bench benchsmoke
 
-ci: build vet test race
+ci: build vet test race benchsmoke
 
 build:
 	$(GO) build ./...
@@ -21,10 +22,17 @@ test:
 	$(GO) test ./...
 
 # The packages with real concurrency: the parallel guard-synthesis
-# pipeline (core), the goroutine transport (livenet), and the actor
-# protocol they drive.
+# pipeline (core), the goroutine transport (livenet), the actor
+# protocol they drive, and the shared interning/memoization tables
+# (temporal) with their single-owner consumers (param), whose
+# equivalence property tests double as concurrency stress under -race.
 race:
-	$(GO) test -race ./internal/core ./internal/livenet ./internal/actor
+	$(GO) test -race ./internal/core ./internal/livenet ./internal/actor ./internal/temporal ./internal/param
+
+# Every benchmark must still compile and survive one iteration; keeps
+# the perf harness from rotting between measurement sessions.
+benchsmoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 bench:
 	$(GO) test -bench 'BenchmarkP' -benchtime 1x ./...

@@ -8,20 +8,29 @@
 //	wfbench -exp E9        # run one experiment
 //	wfbench -list          # list experiments
 //	wfbench -j 4 -exp P1   # bound the guard-synthesis worker pool
+//	wfbench -exp P4 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "", "experiment id (default: all)")
 	list := flag.Bool("list", false, "list experiments")
 	par := flag.Int("j", 0, "guard synthesis parallelism (0 = GOMAXPROCS, 1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the experiment run to `file`")
 	flag.Parse()
 	bench.Parallelism = *par
 
@@ -29,18 +38,51 @@ func main() {
 		for _, e := range bench.All() {
 			fmt.Printf("%-6s %s\n", e.ID, e.Desc)
 		}
-		return
+		return 0
 	}
+
+	var selected []bench.Experiment
 	if *exp != "" {
 		e, ok := bench.ByID(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "wfbench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(1)
+			return 1
 		}
-		fmt.Println(e.Run().Format())
-		return
+		selected = []bench.Experiment{e}
+	} else {
+		selected = bench.All()
 	}
-	for _, e := range bench.All() {
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	for _, e := range selected {
 		fmt.Println(e.Run().Format())
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+			return 1
+		}
+	}
+	return 0
 }

@@ -65,7 +65,11 @@ type Actor struct {
 	hooks *Hooks
 
 	know   temporal.Knowledge
-	guards map[string]temporal.Formula // polarity key → current guard
+	guards map[string]temporal.Formula // polarity key → current residual guard
+	// reducedVer records the knowledge version each residual guard was
+	// last reduced at; while it matches, the residual is already fully
+	// reduced and Reduce is skipped.
+	reducedVer map[string]uint64
 	// localNeg maps polarity key → the consensus-eliminated symbols of
 	// that polarity's guard.
 	localNeg map[string]map[string]algebra.Symbol
@@ -158,13 +162,14 @@ func New(base algebra.Symbol, site simnet.SiteID, dir *Directory, hooks *Hooks,
 	pos, neg GuardSpec) *Actor {
 	base = base.Base()
 	a := &Actor{
-		base:     base,
-		site:     site,
-		dir:      dir,
-		hooks:    hooks,
-		guards:   map[string]temporal.Formula{},
-		localNeg: map[string]map[string]algebra.Symbol{},
-		pols:     map[string]*polarity{},
+		base:       base,
+		site:       site,
+		dir:        dir,
+		hooks:      hooks,
+		guards:     map[string]temporal.Formula{},
+		reducedVer: map[string]uint64{},
+		localNeg:   map[string]map[string]algebra.Symbol{},
+		pols:       map[string]*polarity{},
 	}
 	for _, s := range []algebra.Symbol{base, base.Complement()} {
 		a.pols[s.Key()] = &polarity{
@@ -336,6 +341,21 @@ func (a *Actor) Site() simnet.SiteID { return a.site }
 // GuardOf returns the current (possibly reduced) guard of a polarity.
 func (a *Actor) GuardOf(s algebra.Symbol) temporal.Formula { return a.guards[s.Key()] }
 
+// residualGuard returns the polarity's knowledge-reduced residual
+// guard, re-reducing only when the knowledge changed since the last
+// reduction — the stored residual already reflects everything older,
+// and reducing it again under unchanged knowledge is the identity.
+func (a *Actor) residualGuard(p *polarity) temporal.Formula {
+	key := p.sym.Key()
+	g := a.guards[key]
+	if v := a.know.Version(); a.reducedVer[key] != v {
+		g = a.know.Reduce(g)
+		a.guards[key] = g
+		a.reducedVer[key] = v
+	}
+	return g
+}
+
 // Occurred reports whether the polarity has occurred, with its index.
 func (a *Actor) Occurred(s algebra.Symbol) (int64, bool) {
 	p := a.pols[s.Key()]
@@ -503,8 +523,7 @@ func (a *Actor) decide(n Net, p *polarity) {
 	if p.occurred || p.rejected || p.fireReady {
 		return
 	}
-	g := a.know.Reduce(a.guards[p.sym.Key()])
-	a.guards[p.sym.Key()] = g
+	g := a.residualGuard(p)
 	if g.IsFalse() {
 		a.endRound(n, p)
 		a.reject(n, p, "guard reduced to 0")
@@ -845,8 +864,7 @@ func (a *Actor) onReply(n Net, m InquireReplyMsg) {
 }
 
 func (a *Actor) finishRound(n Net, p *polarity) {
-	g := a.know.Reduce(a.guards[p.sym.Key()])
-	a.guards[p.sym.Key()] = g
+	g := a.residualGuard(p)
 	if g.IsFalse() {
 		a.endRound(n, p)
 		a.reject(n, p, "guard reduced to 0")

@@ -97,6 +97,7 @@ func All() []Experiment {
 		{"P6", P6, "ablation: consensus elimination for ¬ literals"},
 		{"P7", P7, "latency sensitivity: decision latency vs remote-link cost"},
 		{"P8", P8, "parallel vs sequential guard synthesis (worker pool)"},
+		{"P9", P9, "ablation: incremental vs from-scratch parametrized evaluation"},
 	}
 }
 

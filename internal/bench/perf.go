@@ -119,6 +119,51 @@ func P3() *Table {
 	return t
 }
 
+// runExample13 drives the Example 13 mutual-exclusion manager through
+// a number of loop iterations (four token attempts each), optionally
+// on the from-scratch evaluation path, and returns the attempt count
+// and the attempt-loop wall time.  Shared by P4 and P9.
+func runExample13(iters int, scratch bool) (attempts int, el time.Duration) {
+	m, err := param.NewManager(
+		"b2[?y] . b1[?x] + ~e1[?x] + ~b2[?y] + e1[?x] . b2[?y]",
+		"b1[?x] . b2[?y] + ~e2[?y] + ~b1[?x] + e2[?y] . b1[?x]",
+	)
+	if err != nil {
+		panic(err)
+	}
+	if scratch {
+		m.DisableIncremental()
+	}
+	var c param.Counter
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		for _, base := range []string{"b1", "e1", "b2", "e2"} {
+			if _, err := m.Attempt(c.Next(sym(base))); err != nil {
+				panic(err)
+			}
+			attempts++
+		}
+	}
+	el = time.Since(start)
+	if _, ok := m.SatisfiesInstances(); !ok {
+		panic("example 13 manager: violation")
+	}
+	return attempts, el
+}
+
+// bestExample13 runs the workload a few times and keeps the fastest
+// wall time: the short cells are a few ms of work, where scheduler and
+// GC noise would otherwise dominate the table.
+func bestExample13(iters int, scratch bool) (attempts int, best time.Duration) {
+	for rep := 0; rep < 3; rep++ {
+		n, el := runExample13(iters, scratch)
+		if rep == 0 || el < best {
+			attempts, best = n, el
+		}
+	}
+	return attempts, best
+}
+
 // P4 measures parametrized guard evaluation as live instances grow:
 // the Example 13 mutual-exclusion manager over many loop iterations.
 func P4() *Table {
@@ -127,29 +172,9 @@ func P4() *Table {
 		Title:  "parametrized scheduling cost vs loop iterations (Example 13 manager)",
 		Header: []string{"iterations", "attempts", "time", "µs/attempt"},
 	}
+	runExample13(2, false) // warm the process-wide canonicalization tables
 	for _, iters := range []int{5, 20, 80} {
-		m, err := param.NewManager(
-			"b2[?y] . b1[?x] + ~e1[?x] + ~b2[?y] + e1[?x] . b2[?y]",
-			"b1[?x] . b2[?y] + ~e2[?y] + ~b1[?x] + e2[?y] . b1[?x]",
-		)
-		if err != nil {
-			panic(err)
-		}
-		var c param.Counter
-		attempts := 0
-		start := time.Now()
-		for i := 0; i < iters; i++ {
-			for _, base := range []string{"b1", "e1", "b2", "e2"} {
-				if _, err := m.Attempt(c.Next(sym(base))); err != nil {
-					panic(err)
-				}
-				attempts++
-			}
-		}
-		el := time.Since(start)
-		if _, ok := m.SatisfiesInstances(); !ok {
-			panic("P4: violation")
-		}
+		attempts, el := bestExample13(iters, false)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(iters), fmt.Sprint(attempts),
 			el.Round(time.Microsecond).String(),
@@ -157,7 +182,34 @@ func P4() *Table {
 		})
 	}
 	t.Notes = append(t.Notes,
-		"cost grows with the observed-binding population: each attempt re-evaluates the universal guard")
+		"the delta-driven evaluator re-evaluates only instances touched by new observations; cost per attempt stays flat as the binding population grows (P9 ablates this)")
+	return t
+}
+
+// P9 ablates the delta-driven parametrized evaluator against the
+// from-scratch universal evaluation on the same workload as P4.
+func P9() *Table {
+	t := &Table{
+		ID:    "P9",
+		Title: "incremental vs from-scratch parametrized evaluation (Example 13 manager)",
+		Header: []string{"iterations", "attempts", "scratch µs/attempt",
+			"incremental µs/attempt", "speedup"},
+	}
+	runExample13(2, true) // warm the process-wide canonicalization tables
+	for _, iters := range []int{5, 20, 80} {
+		attempts, elScratch := bestExample13(iters, true)
+		_, elInc := bestExample13(iters, false)
+		perScratch := float64(elScratch.Microseconds()) / float64(attempts)
+		perInc := float64(elInc.Microseconds()) / float64(attempts)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(iters), fmt.Sprint(attempts),
+			fmt.Sprintf("%.1f", perScratch), fmt.Sprintf("%.1f", perInc),
+			fmt.Sprintf("%.1fx", perScratch/perInc),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"both paths realize the same trace and verdicts (property-tested); the scratch path re-enumerates every candidate binding per attempt",
+		"discharged (⊤) instances are never revisited, so incremental cost tracks the delta, not the accumulated binding population")
 	return t
 }
 
@@ -276,6 +328,12 @@ func P8() *Table {
 		workload.Travel(8),
 		workload.Random(24, 32, 7, 1),
 	} {
+		// Warm the process-wide formula-interning tables first so the
+		// seq/par comparison measures the worker pool, not which run
+		// canonicalized a subformula first.
+		if _, err := core.CompileWith(wl.Workflow, core.CompileOptions{Parallelism: 1}); err != nil {
+			panic(err)
+		}
 		start := time.Now()
 		seq, err := core.CompileWith(wl.Workflow, core.CompileOptions{Parallelism: 1})
 		if err != nil {

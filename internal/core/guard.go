@@ -1,7 +1,6 @@
 package core
 
 import (
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 
@@ -27,11 +26,22 @@ type SynthStats struct {
 // is a single map operation.
 const synthShards = 32
 
+// synthKey identifies one memoized guard computation.  A struct of the
+// two canonical keys (both precomputed: Expr caches its key, Symbol
+// keys are short) makes the map lookup allocation-free, where the old
+// `d.Key() + " @ " + e.Key()` concatenation allocated on every lookup —
+// including cache hits, the overwhelmingly common case.  Interned
+// pointers are not usable here because algebra.Expr values are not
+// hash-consed (structurally equal expressions are distinct pointers).
+type synthKey struct {
+	d, e string
+}
+
 // synthShard is one mutex-protected slice of the memo cache.  Shard
 // maps are allocated lazily so the zero-value Synthesizer works.
 type synthShard struct {
 	mu sync.Mutex
-	m  map[string]*synthEntry
+	m  map[synthKey]*synthEntry
 }
 
 // synthEntry is one memoized guard.  The goroutine that inserts the
@@ -108,12 +118,12 @@ func (sy *Synthesizer) Guard(d *algebra.Expr, e algebra.Symbol) temporal.Formula
 // guard is the memoized entry point: it resolves the (D, e) key
 // through the sharded cache, computing the guard at most once per key.
 func (sy *Synthesizer) guard(d *algebra.Expr, e algebra.Symbol) temporal.Formula {
-	key := d.Key() + " @ " + e.Key()
+	key := synthKey{d: d.Key(), e: e.Key()}
 	sh := &sy.shards[shardOf(key)]
 
 	sh.mu.Lock()
 	if sh.m == nil {
-		sh.m = make(map[string]*synthEntry)
+		sh.m = make(map[synthKey]*synthEntry)
 	}
 	if ent, ok := sh.m[key]; ok {
 		sh.mu.Unlock()
@@ -131,11 +141,23 @@ func (sy *Synthesizer) guard(d *algebra.Expr, e algebra.Symbol) temporal.Formula
 	return ent.g
 }
 
-// shardOf maps a memo key to its cache shard (FNV-1a).
-func shardOf(key string) uint32 {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return h.Sum32() % synthShards
+// shardOf maps a memo key to its cache shard with an inlined FNV-1a
+// over the key's two strings — no hasher allocation and no []byte
+// copy, unlike hash/fnv which costs two heap allocations per lookup.
+func shardOf(key synthKey) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key.d); i++ {
+		h = (h ^ uint32(key.d[i])) * prime32
+	}
+	h = (h ^ '@') * prime32
+	for i := 0; i < len(key.e); i++ {
+		h = (h ^ uint32(key.e[i])) * prime32
+	}
+	return h % synthShards
 }
 
 // compute synthesizes the guard for one memo key; it runs exactly once

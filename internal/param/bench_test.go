@@ -1,0 +1,56 @@
+package param
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+// example13Manager builds the P4/P9 workload manager.
+func example13Manager(tb testing.TB, scratch bool) *Manager {
+	tb.Helper()
+	m, err := NewManager(
+		"b2[?y] . b1[?x] + ~e1[?x] + ~b2[?y] + e1[?x] . b2[?y]",
+		"b1[?x] . b2[?y] + ~e2[?y] + ~b1[?x] + e2[?y] . b1[?x]",
+	)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if scratch {
+		m.DisableIncremental()
+	}
+	return m
+}
+
+func driveExample13(tb testing.TB, m *Manager, iters int) {
+	tb.Helper()
+	var c Counter
+	for i := 0; i < iters; i++ {
+		for _, base := range []string{"b1", "e1", "b2", "e2"} {
+			if _, err := m.Attempt(c.Next(algebra.Sym(base))); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkParamEval sweeps the Example 13 manager over loop
+// iterations on both evaluation paths; each b.N op is one full run, so
+// ns/op at a given iteration count exposes superlinear growth.
+func BenchmarkParamEval(b *testing.B) {
+	for _, iters := range []int{5, 20, 80} {
+		for _, mode := range []struct {
+			name    string
+			scratch bool
+		}{{"incremental", false}, {"scratch", true}} {
+			b.Run(fmt.Sprintf("%s/iters=%d", mode.name, iters), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					m := example13Manager(b, mode.scratch)
+					driveExample13(b, m, iters)
+				}
+			})
+		}
+	}
+}

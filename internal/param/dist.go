@@ -184,7 +184,7 @@ func NewTypeActor(name string, site simnet.SiteID, deps []*algebra.Expr,
 				marker = "-"
 			}
 			a.guards[marker] = append(a.guards[marker],
-				typeGuard{pattern: pat, tmpl: m.guardFor(i, pat)})
+				typeGuard{pattern: pat, tmpl: m.guardFor(i, pat).pg})
 		}
 	}
 	return a, nil

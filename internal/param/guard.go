@@ -102,15 +102,9 @@ func SubstFormula(f temporal.Formula, b Binding) temporal.Formula {
 	if f.IsTrue() || f.IsFalse() || len(b) == 0 {
 		return f
 	}
-	var sum []temporal.Formula
-	for _, p := range f.Products() {
-		parts := make([]temporal.Formula, 0, len(p.Lits()))
-		for _, l := range p.Lits() {
-			parts = append(parts, temporal.Lit(substLit(l, b)))
-		}
-		sum = append(sum, temporal.And(parts...))
-	}
-	return temporal.Or(sum...)
+	return temporal.MapLiterals(f, func(l temporal.Literal) temporal.Literal {
+		return substLit(l, b)
+	})
 }
 
 func substLit(l temporal.Literal, b Binding) temporal.Literal {
@@ -170,7 +164,13 @@ func (pg *ParamGuard) relevantBindings(h *History) []Binding {
 }
 
 func (pg *ParamGuard) evalInstance(h *History, b Binding) temporal.Tri {
-	inst := SubstFormula(pg.Template, b)
+	return evalFormulaFree(h, SubstFormula(pg.Template, b))
+}
+
+// evalFormulaFree evaluates an instantiated formula (possibly with
+// residual free variables) against the history; shared by the
+// from-scratch Eval and the incremental Evaluator.
+func evalFormulaFree(h *History, inst temporal.Formula) temporal.Tri {
 	anyUnknown := false
 	for _, p := range inst.Products() {
 		v := evalProductFree(h, p)

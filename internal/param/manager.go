@@ -50,20 +50,29 @@ func (o Outcome) String() string {
 // and guards resurrect for it.
 type Manager struct {
 	deps      []*algebra.Expr
+	gamma     [][]algebra.Symbol // per dependency: distinct Γ_D symbols, sorted
 	hist      History
 	synth     *core.Synthesizer
-	templates map[string]*ParamGuard // depIdx:eventTypeKey → guard template
-	parked    []algebra.Symbol
-	rejected  map[string]bool
-	trace     []algebra.Symbol
-	time      int64
+	templates map[string]*templateState // depIdx:eventTypeKey → guard template + shared candidate index
+	// evals holds one persistent incremental Evaluator per guard
+	// instance of each live token, keyed by the token; dropped once the
+	// token is accepted or rejected.  When scratch is set (the P9
+	// ablation and the equivalence tests), attempts fall back to the
+	// from-scratch ParamGuard.Eval re-enumeration instead.
+	evals    map[string][]*Evaluator
+	scratch  bool
+	parked   []algebra.Symbol
+	rejected map[string]bool
+	trace    []algebra.Symbol
+	time     int64
 }
 
 // NewManager builds a manager from parametrized dependency sources.
 func NewManager(deps ...string) (*Manager, error) {
 	m := &Manager{
 		synth:     core.NewSynthesizer(),
-		templates: map[string]*ParamGuard{},
+		templates: map[string]*templateState{},
+		evals:     map[string][]*Evaluator{},
 		rejected:  map[string]bool{},
 	}
 	for i, src := range deps {
@@ -76,32 +85,42 @@ func NewManager(deps ...string) (*Manager, error) {
 	if len(m.deps) == 0 {
 		return nil, fmt.Errorf("param: manager needs at least one dependency")
 	}
+	for _, d := range m.deps {
+		m.gamma = append(m.gamma, gammaTypes(d))
+	}
 	return m, nil
 }
 
+// DisableIncremental switches the manager to the from-scratch
+// universal evaluation (ParamGuard.Eval) for every attempt — the
+// ablation baseline for experiment P9 and the oracle for the
+// incremental-equivalence property tests.  Call before the first
+// attempt; modes must not be mixed mid-run.
+func (m *Manager) DisableIncremental() { m.scratch = true }
+
 // guardFor returns the (cached) guard template of an event type under
-// one dependency.
-func (m *Manager) guardFor(depIdx int, eventType algebra.Symbol) *ParamGuard {
+// one dependency, with the candidate index its tokens share.
+func (m *Manager) guardFor(depIdx int, eventType algebra.Symbol) *templateState {
 	key := fmt.Sprintf("%d:%s", depIdx, eventType.Key())
-	if pg, ok := m.templates[key]; ok {
-		return pg
+	if ts, ok := m.templates[key]; ok {
+		return ts
 	}
-	pg := NewParamGuard(m.synth.Guard(m.deps[depIdx], eventType))
-	m.templates[key] = pg
-	return pg
+	ts := newTemplateState(NewParamGuard(m.synth.Guard(m.deps[depIdx], eventType)), &m.hist)
+	m.templates[key] = ts
+	return ts
 }
 
 // GuardInstances returns, for a ground token, every instantiated guard
 // it must satisfy: one per (dependency, unifying event type).
 func (m *Manager) GuardInstances(ground algebra.Symbol) []*ParamGuard {
 	var out []*ParamGuard
-	for i, d := range m.deps {
-		for _, atomSym := range gammaTypes(d) {
+	for i := range m.deps {
+		for _, atomSym := range m.gamma[i] {
 			b, ok := Unify(atomSym, ground)
 			if !ok {
 				continue
 			}
-			tmpl := m.guardFor(i, atomSym)
+			tmpl := m.guardFor(i, atomSym).pg
 			inst := SubstFormula(tmpl.Template, b)
 			out = append(out, NewParamGuard(inst))
 		}
@@ -128,6 +147,7 @@ func (m *Manager) Attempt(ground algebra.Symbol) (Outcome, error) {
 	}
 	if m.rejected[ground.Key()] || m.hist.Occurred(ground.Complement()) {
 		m.rejected[ground.Key()] = true
+		m.dropEvals(ground)
 		return Rejected, nil
 	}
 	switch m.eval(ground) {
@@ -136,6 +156,7 @@ func (m *Manager) Attempt(ground algebra.Symbol) (Outcome, error) {
 		return Accepted, nil
 	case temporal.False:
 		m.rejected[ground.Key()] = true
+		m.dropEvals(ground)
 		return Rejected, nil
 	default:
 		m.park(ground)
@@ -160,9 +181,21 @@ func (m *Manager) Force(ground algebra.Symbol) error {
 }
 
 func (m *Manager) eval(ground algebra.Symbol) temporal.Tri {
+	if m.scratch {
+		result := temporal.True
+		for _, pg := range m.GuardInstances(ground) {
+			switch pg.Eval(&m.hist) {
+			case temporal.False:
+				return temporal.False
+			case temporal.Unknown:
+				result = temporal.Unknown
+			}
+		}
+		return result
+	}
 	result := temporal.True
-	for _, pg := range m.GuardInstances(ground) {
-		switch pg.Eval(&m.hist) {
+	for _, e := range m.evaluatorsFor(ground) {
+		switch e.Eval() {
 		case temporal.False:
 			return temporal.False
 		case temporal.Unknown:
@@ -170,6 +203,35 @@ func (m *Manager) eval(ground algebra.Symbol) temporal.Tri {
 		}
 	}
 	return result
+}
+
+// evaluatorsFor returns the token's persistent incremental evaluators,
+// building them on the token's first attempt.
+func (m *Manager) evaluatorsFor(ground algebra.Symbol) []*Evaluator {
+	k := ground.Key()
+	if evs, ok := m.evals[k]; ok {
+		return evs
+	}
+	var evs []*Evaluator
+	for i := range m.deps {
+		for _, atomSym := range m.gamma[i] {
+			b, ok := Unify(atomSym, ground)
+			if !ok {
+				continue
+			}
+			ts := m.guardFor(i, atomSym)
+			inst := SubstFormula(ts.pg.Template, b)
+			evs = append(evs, newEvaluatorWith(NewParamGuard(inst), &m.hist, ts))
+		}
+	}
+	m.evals[k] = evs
+	return evs
+}
+
+// dropEvals releases a settled token's evaluators (and their binding
+// populations).
+func (m *Manager) dropEvals(ground algebra.Symbol) {
+	delete(m.evals, ground.Key())
 }
 
 func (m *Manager) park(ground algebra.Symbol) {
@@ -185,6 +247,7 @@ func (m *Manager) fire(ground algebra.Symbol) {
 	m.time++
 	m.hist.Observe(ground, m.time)
 	m.trace = append(m.trace, ground)
+	m.dropEvals(ground)
 	m.retryParked()
 }
 
@@ -198,6 +261,7 @@ func (m *Manager) retryParked() {
 		for _, p := range m.parked {
 			if m.hist.Occurred(p.Complement()) {
 				m.rejected[p.Key()] = true
+				m.dropEvals(p)
 				progress = true
 				continue
 			}
@@ -206,9 +270,11 @@ func (m *Manager) retryParked() {
 				m.time++
 				m.hist.Observe(p, m.time)
 				m.trace = append(m.trace, p)
+				m.dropEvals(p)
 				progress = true
 			case temporal.False:
 				m.rejected[p.Key()] = true
+				m.dropEvals(p)
 				progress = true
 			default:
 				kept = append(kept, p)

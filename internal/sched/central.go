@@ -418,14 +418,22 @@ type guardCentral struct {
 	occurred map[string]int64
 	rejected map[string]bool
 	parked   []parkedAttempt
+	// residual caches the knowledge-reduced guard per event, with the
+	// knowledge version it was reduced at; re-attempts and drainParked
+	// passes re-reduce the residual only when the history grew instead
+	// of reducing the full compiled formula every time.
+	residual   map[string]temporal.Formula
+	reducedVer map[string]uint64
 }
 
 func newGuardCentral(c *core.Compiled, hooks *actor.Hooks) *guardCentral {
 	return &guardCentral{
-		compiled: c,
-		hooks:    hooks,
-		occurred: map[string]int64{},
-		rejected: map[string]bool{},
+		compiled:   c,
+		hooks:      hooks,
+		occurred:   map[string]int64{},
+		rejected:   map[string]bool{},
+		residual:   map[string]temporal.Formula{},
+		reducedVer: map[string]uint64{},
 	}
 }
 
@@ -473,7 +481,16 @@ func (gc *guardCentral) onAttempt(n *simnet.Network, m actor.AttemptMsg, attempt
 // complements are rejected from then on.  ¬ literals are immediately
 // decidable because the history is complete.
 func (gc *guardCentral) evalGuard(s algebra.Symbol) temporal.Tri {
-	g := gc.know.Reduce(gc.compiled.GuardOf(s))
+	k := s.Key()
+	g, cached := gc.residual[k]
+	if !cached {
+		g = gc.compiled.GuardOf(s)
+	}
+	if v := gc.know.Version(); !cached || gc.reducedVer[k] != v {
+		g = gc.know.Reduce(g)
+		gc.residual[k] = g
+		gc.reducedVer[k] = v
+	}
 	if g.IsTrue() {
 		return temporal.True
 	}

@@ -60,7 +60,7 @@ func newProduct(lits []Literal) (Product, bool) {
 	}
 	p := Product{lits: kept}
 	p.key = productKey(kept)
-	return p, true
+	return internProduct(p), true
 }
 
 func productKey(lits []Literal) string {
@@ -205,14 +205,19 @@ type Formula struct {
 	key   string
 }
 
+var (
+	falseFormula = Formula{key: "0"}
+	trueFormula  = func() Formula {
+		p, _ := newProduct(nil)
+		return Formula{prods: []Product{p}, key: "T"}
+	}()
+)
+
 // FalseF returns the guard 0.
-func FalseF() Formula { return Formula{key: "0"} }
+func FalseF() Formula { return falseFormula }
 
 // TrueF returns the guard ⊤.
-func TrueF() Formula {
-	p, _ := newProduct(nil)
-	return Formula{prods: []Product{p}, key: "T"}
-}
+func TrueF() Formula { return trueFormula }
 
 // Lit returns the guard consisting of a single literal.
 func Lit(l Literal) Formula { return product(l) }
@@ -226,8 +231,33 @@ func product(lits ...Literal) Formula {
 	return canon([]Product{p})
 }
 
-// Or returns the disjunction of the formulas, simplified.
+// Or returns the disjunction of the formulas, simplified.  Operands
+// are already canonical, so the result is memoized on their sorted
+// keys; the combination runs at most once per distinct operand set.
 func Or(fs ...Formula) Formula {
+	switch len(fs) {
+	case 0:
+		return FalseF()
+	case 1:
+		if len(fs[0].prods) == 0 {
+			return FalseF() // normalizes a zero-value operand's "" key
+		}
+		return fs[0]
+	}
+	keys := make([]string, len(fs))
+	for i, f := range fs {
+		keys[i] = f.key
+	}
+	sig := signature(keys)
+	if v, ok := orTable.Load(sig); ok {
+		return v.(Formula)
+	}
+	g := orCompute(fs)
+	v, _ := orTable.LoadOrStore(sig, g)
+	return v.(Formula)
+}
+
+func orCompute(fs []Formula) Formula {
 	var all []Product
 	for _, f := range fs {
 		all = append(all, f.prods...)
@@ -236,8 +266,32 @@ func Or(fs ...Formula) Formula {
 }
 
 // And returns the conjunction of the formulas, simplified (cross
-// product of the operands' sums).
+// product of the operands' sums).  Memoized like Or: the cross product
+// over sorted normalized products is commutative in the operands.
 func And(fs ...Formula) Formula {
+	switch len(fs) {
+	case 0:
+		return TrueF()
+	case 1:
+		if len(fs[0].prods) == 0 {
+			return FalseF()
+		}
+		return fs[0]
+	}
+	keys := make([]string, len(fs))
+	for i, f := range fs {
+		keys[i] = f.key
+	}
+	sig := signature(keys)
+	if v, ok := andTable.Load(sig); ok {
+		return v.(Formula)
+	}
+	g := andCompute(fs)
+	v, _ := andTable.LoadOrStore(sig, g)
+	return v.(Formula)
+}
+
+func andCompute(fs []Formula) Formula {
 	acc := []Product{{key: "T"}}
 	for _, f := range fs {
 		if len(f.prods) == 0 {
@@ -260,6 +314,29 @@ func And(fs ...Formula) Formula {
 		acc = next
 	}
 	return canon(acc)
+}
+
+// MapLiterals rebuilds the formula with every literal transformed by
+// fn, renormalizing each product and the sum.  It is equivalent to
+// Or-ing the And of Lit(fn(l)) per product but does the work at the
+// product level: one normalization per product and one canon for the
+// sum, instead of formula-level combinators per literal — the fast
+// path for formula instantiation in package param.
+func MapLiterals(f Formula, fn func(Literal) Literal) Formula {
+	if f.IsTrue() || f.IsFalse() {
+		return f
+	}
+	prods := make([]Product, 0, len(f.prods))
+	for _, p := range f.prods {
+		lits := make([]Literal, len(p.lits))
+		for i, l := range p.lits {
+			lits[i] = fn(l)
+		}
+		if np, ok := newProduct(lits); ok {
+			prods = append(prods, np)
+		}
+	}
+	return canon(prods)
 }
 
 // IsTrue reports whether the guard is ⊤ (the event may occur

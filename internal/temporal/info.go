@@ -84,7 +84,8 @@ func (s Status) String() string {
 // The zero value is empty and ready to use.  Knowledge is not safe for
 // concurrent use; each actor owns one.
 type Knowledge struct {
-	m map[string]fact
+	m   map[string]fact
+	ver uint64
 }
 
 type fact struct {
@@ -155,7 +156,7 @@ func (k *Knowledge) MarkImpossible(s algebra.Symbol) {
 // Clone returns an independent copy of the knowledge, used for
 // hypothetical reasoning ("would this guard hold if r occurred?").
 func (k *Knowledge) Clone() *Knowledge {
-	cp := &Knowledge{}
+	cp := &Knowledge{ver: k.ver}
 	if k.m != nil {
 		cp.m = make(map[string]fact, len(k.m))
 		for key, f := range k.m {
@@ -170,7 +171,7 @@ func (k *Knowledge) Clone() *Knowledge {
 // conditional promises.  Used where a decision must survive until an
 // arbitrarily later discharge (promise granting).
 func (k *Knowledge) PermanentClone() *Knowledge {
-	cp := &Knowledge{}
+	cp := &Knowledge{ver: k.ver}
 	if k.m != nil {
 		cp.m = make(map[string]fact, len(k.m))
 		for key, f := range k.m {
@@ -188,7 +189,15 @@ func (k *Knowledge) set(s algebra.Symbol, f fact) {
 		k.m = make(map[string]fact)
 	}
 	k.m[s.Key()] = f
+	k.ver++
 }
+
+// Version returns a counter that changes on every mutation (including
+// transient holds and conditional promises — they affect evalSeq's
+// ordering evidence).  Callers cache Reduce results and skip
+// re-reduction while the version is unchanged: Reduce of a residual
+// under unmodified knowledge is the identity.
+func (k *Knowledge) Version() uint64 { return k.ver }
 
 // Status returns what is known about the symbol.
 func (k *Knowledge) Status(s algebra.Symbol) Status {

@@ -1,0 +1,90 @@
+package temporal
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the structural-sharing and memoization kernel shared by
+// compile-time guard synthesis and the runtime schedulers.  Literals,
+// products, and canonical formulas are interned in process-wide tables
+// keyed by their canonical text keys, and the expensive normalizers —
+// the consensus-closure canon and the And/Or combinators over
+// already-canonical operands — are memoized, so each distinct
+// sum-of-products is canonicalized exactly once per process.
+//
+// Concurrency contract: every table is a sync.Map and every cached
+// value is immutable (literals, products, and formulas are values whose
+// backing slices are never mutated after construction — their accessors
+// document "shared; do not mutate").  The memoized functions are pure,
+// so concurrent first callers may race to compute the same entry; the
+// first LoadOrStore wins and all callers observe an identical value
+// (identical canonical key, equivalent structure).  Entries live for
+// the lifetime of the process: the key universe is bounded by the
+// distinct guards a workload ever constructs, which is exactly the
+// reuse the memoization exists to exploit.
+var (
+	occTable   sync.Map // symbol key → Literal (□s)
+	notTable   sync.Map // symbol key → Literal (¬s)
+	evTable    sync.Map // literal key → Literal (◇-sequence)
+	prodTable  sync.Map // product key → Product
+	canonTable sync.Map // product-key signature → Formula
+	andTable   sync.Map // operand-key signature → Formula
+	orTable    sync.Map // operand-key signature → Formula
+)
+
+// internProduct returns the canonical representative of a normalized
+// product, sharing its literal slice and key string process-wide.
+func internProduct(p Product) Product {
+	if v, ok := prodTable.Load(p.key); ok {
+		return v.(Product)
+	}
+	v, _ := prodTable.LoadOrStore(p.key, p)
+	return v.(Product)
+}
+
+// signature builds a canonical memo key from element keys: sorted (the
+// memoized operations are commutative) and joined by a separator that
+// cannot occur inside a key.
+func signature(keys []string) string {
+	sort.Strings(keys)
+	n := len(keys)
+	for _, k := range keys {
+		n += len(k)
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// canon returns the canonical minimal formula for a sum of products,
+// memoized: the consensus closure in canonCompute runs at most once
+// per distinct product multiset.
+func canon(prods []Product) Formula {
+	if len(prods) == 0 {
+		return FalseF()
+	}
+	var sig string
+	if len(prods) == 1 {
+		sig = prods[0].key
+	} else {
+		keys := make([]string, len(prods))
+		for i, p := range prods {
+			keys[i] = p.key
+		}
+		sig = signature(keys)
+	}
+	if v, ok := canonTable.Load(sig); ok {
+		return v.(Formula)
+	}
+	f := canonCompute(prods)
+	v, _ := canonTable.LoadOrStore(sig, f)
+	return v.(Formula)
+}

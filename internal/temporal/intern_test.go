@@ -1,0 +1,140 @@
+package temporal
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func randomLitPool() []Literal {
+	var pool []Literal
+	for _, k := range []string{"e", "~e", "f", "~f"} {
+		pool = append(pool, Occurred(sym(k)), NotYet(sym(k)), Eventually(sym(k)))
+	}
+	return append(pool, Eventually(sym("e"), sym("f")), Eventually(sym("f"), sym("e")))
+}
+
+func randomProducts(r *rand.Rand, pool []Literal) []Product {
+	nProds := 1 + r.Intn(4)
+	var prods []Product
+	for p := 0; p < nProds; p++ {
+		n := 1 + r.Intn(3)
+		lits := make([]Literal, n)
+		for i := range lits {
+			lits[i] = pool[r.Intn(len(pool))]
+		}
+		if pr, ok := newProduct(lits); ok {
+			prods = append(prods, pr)
+		}
+	}
+	return prods
+}
+
+// TestCanonMemoMatchesCompute checks the memoized canon against a
+// direct canonCompute run on random product sets — including permuted
+// copies, which must hit the same memo entry (the signature sorts) and
+// yield the same canonical formula.
+func TestCanonMemoMatchesCompute(t *testing.T) {
+	pool := randomLitPool()
+	r := rand.New(rand.NewSource(59))
+	for iter := 0; iter < 300; iter++ {
+		prods := randomProducts(r, pool)
+		got := canon(prods)
+		want := canonCompute(prods)
+		if got.Key() != want.Key() {
+			t.Fatalf("iter %d: canon %q != canonCompute %q", iter, got.Key(), want.Key())
+		}
+		shuffled := append([]Product(nil), prods...)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if again := canon(shuffled); again.Key() != got.Key() {
+			t.Fatalf("iter %d: canon order-dependent: %q vs %q", iter, again.Key(), got.Key())
+		}
+	}
+}
+
+// TestAndOrMemoMatchesCompute checks the memoized And/Or combinators
+// against their direct computations, and their operand-order
+// invariance, on random already-canonical operands.
+func TestAndOrMemoMatchesCompute(t *testing.T) {
+	pool := randomLitPool()
+	r := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + r.Intn(3)
+		fs := make([]Formula, n)
+		for i := range fs {
+			fs[i] = canon(randomProducts(r, pool))
+		}
+		if got, want := Or(fs...), orCompute(fs); got.Key() != want.Key() {
+			t.Fatalf("iter %d: Or %q != orCompute %q", iter, got.Key(), want.Key())
+		}
+		if got, want := And(fs...), andCompute(fs); got.Key() != want.Key() {
+			t.Fatalf("iter %d: And %q != andCompute %q", iter, got.Key(), want.Key())
+		}
+		shuffled := append([]Formula(nil), fs...)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if Or(shuffled...).Key() != Or(fs...).Key() {
+			t.Fatalf("iter %d: Or order-dependent", iter)
+		}
+		if And(shuffled...).Key() != And(fs...).Key() {
+			t.Fatalf("iter %d: And order-dependent", iter)
+		}
+	}
+}
+
+// TestInternTablesConcurrent builds the same randomized formula
+// sequence from several goroutines at once and checks every goroutine
+// observes identical canonical keys — the race detector covers the
+// table accesses, the comparison covers first-writer-wins coherence.
+func TestInternTablesConcurrent(t *testing.T) {
+	const workers, steps = 8, 150
+	keys := make([][]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pool := randomLitPool()
+			r := rand.New(rand.NewSource(73)) // same sequence in every worker
+			out := make([]string, 0, 2*steps)
+			for i := 0; i < steps; i++ {
+				prods := randomProducts(r, pool)
+				f := canon(prods)
+				g := And(f, canon(randomProducts(r, pool)))
+				out = append(out, f.Key(), Or(f, g).Key())
+			}
+			keys[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range keys[0] {
+			if keys[w][i] != keys[0][i] {
+				t.Fatalf("worker %d step %d: key %q != %q", w, i, keys[w][i], keys[0][i])
+			}
+		}
+	}
+}
+
+// BenchmarkCanon compares the memoized canon against the raw
+// consensus-closure computation over a fixed mix of random product
+// sets — the warm-cache speedup every repeated guard synthesis sees.
+func BenchmarkCanon(b *testing.B) {
+	pool := randomLitPool()
+	r := rand.New(rand.NewSource(67))
+	sets := make([][]Product, 64)
+	for i := range sets {
+		sets[i] = randomProducts(r, pool)
+	}
+	b.Run("memoized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			canon(sets[i%len(sets)])
+		}
+	})
+	b.Run("compute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			canonCompute(sets[i%len(sets)])
+		}
+	})
+}

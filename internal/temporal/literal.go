@@ -32,32 +32,48 @@ type Literal struct {
 	key  string
 }
 
-// Occurred returns the literal □s.
+// Occurred returns the literal □s, interned so repeated construction
+// shares one value (and one key string) per symbol.
 func Occurred(s algebra.Symbol) Literal {
-	l := Literal{kind: LitOccurred, syms: []algebra.Symbol{s}}
-	l.key = "[]" + s.Key()
-	return l
+	k := s.Key()
+	if v, ok := occTable.Load(k); ok {
+		return v.(Literal)
+	}
+	l := Literal{kind: LitOccurred, syms: []algebra.Symbol{s}, key: "[]" + k}
+	v, _ := occTable.LoadOrStore(k, l)
+	return v.(Literal)
 }
 
-// NotYet returns the literal ¬s.
+// NotYet returns the literal ¬s, interned.
 func NotYet(s algebra.Symbol) Literal {
-	l := Literal{kind: LitNotYet, syms: []algebra.Symbol{s}}
-	l.key = "!" + s.Key()
-	return l
+	k := s.Key()
+	if v, ok := notTable.Load(k); ok {
+		return v.(Literal)
+	}
+	l := Literal{kind: LitNotYet, syms: []algebra.Symbol{s}, key: "!" + k}
+	v, _ := notTable.LoadOrStore(k, l)
+	return v.(Literal)
 }
 
-// Eventually returns the literal ◇(s1·…·sk); it panics on an empty
-// symbol list (◇ of the empty sequence is ⊤ and has no literal form).
+// Eventually returns the literal ◇(s1·…·sk), interned; it panics on an
+// empty symbol list (◇ of the empty sequence is ⊤ and has no literal
+// form).
 func Eventually(syms ...algebra.Symbol) Literal {
 	if len(syms) == 0 {
 		panic("temporal: Eventually requires at least one symbol")
 	}
-	cp := append([]algebra.Symbol(nil), syms...)
-	parts := make([]string, len(cp))
-	for i, s := range cp {
+	parts := make([]string, len(syms))
+	for i, s := range syms {
 		parts[i] = s.Key()
 	}
-	return Literal{kind: LitEventually, syms: cp, key: "<>(" + strings.Join(parts, " . ") + ")"}
+	key := "<>(" + strings.Join(parts, " . ") + ")"
+	if v, ok := evTable.Load(key); ok {
+		return v.(Literal)
+	}
+	cp := append([]algebra.Symbol(nil), syms...)
+	l := Literal{kind: LitEventually, syms: cp, key: key}
+	v, _ := evTable.LoadOrStore(key, l)
+	return v.(Literal)
 }
 
 // Kind returns the literal kind.

@@ -1,10 +1,17 @@
 package temporal
 
-import "sort"
+import (
+	"sort"
+	"strings"
+)
 
-// canon normalizes a sum of products into the canonical minimal form
-// used by Formula: it removes unsatisfiable and absorbed products and
-// closes the sum under consensus on complementary literal pairs.
+// canonCompute normalizes a sum of products into the canonical minimal
+// form used by Formula: it removes unsatisfiable and absorbed products
+// and closes the sum under consensus on complementary literal pairs.
+// Callers go through the memoized canon wrapper in intern.go; the
+// closure is a monotone fixpoint over a keyed work set, so the result
+// is independent of the input product order and the wrapper may key the
+// memo by the sorted product keys.
 //
 // Consensus is the DNF analogue of resolution: if one product is
 // R1 ∪ {l1}, another R2 ∪ {l2}, and l1 + l2 ≡ ⊤, then the sum also
@@ -16,7 +23,7 @@ import "sort"
 // exactly as the paper reduces G(D_<, e) in Example 9.  The literal
 // universe is fixed (consensus only recombines existing literals), so
 // the closure terminates.
-func canon(prods []Product) Formula {
+func canonCompute(prods []Product) Formula {
 	work := map[string]Product{}
 	var queue []Product
 	add := func(p Product) {
@@ -92,11 +99,19 @@ func canon(prods []Product) Formula {
 }
 
 func joinKeys(keys []string) string {
-	out := keys[0]
-	for _, k := range keys[1:] {
-		out += " + " + k
+	n := 3 * (len(keys) - 1)
+	for _, k := range keys {
+		n += len(k)
 	}
-	return out
+	var b strings.Builder
+	b.Grow(n)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		b.WriteString(k)
+	}
+	return b.String()
 }
 
 func snapshot(m map[string]Product) []Product {
