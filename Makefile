@@ -1,16 +1,17 @@
 # Pre-merge gate: everything here must pass before a change lands.
 #
-#   make ci          build, vet, full test suite, race suite, bench smoke
+#   make ci          build, vet, full test suite, race suite, bench smoke, fuzz smoke
 #   make test        full test suite only
 #   make race        race-detector suite over the concurrent packages
 #   make benchsmoke  compile-and-run every benchmark once
+#   make fuzzsmoke   brief run of every fuzz target
 #   make bench       the P* cost benchmarks (informational)
 
 GO ?= go
 
-.PHONY: ci build vet test race bench benchsmoke
+.PHONY: ci build vet test race bench benchsmoke fuzzsmoke
 
-ci: build vet test race benchsmoke
+ci: build vet test race benchsmoke fuzzsmoke
 
 build:
 	$(GO) build ./...
@@ -22,17 +23,26 @@ test:
 	$(GO) test ./...
 
 # The packages with real concurrency: the parallel guard-synthesis
-# pipeline (core), the goroutine transport (livenet), the actor
-# protocol they drive, and the shared interning/memoization tables
-# (temporal) with their single-owner consumers (param), whose
-# equivalence property tests double as concurrency stress under -race.
+# pipeline (core), the goroutine transport (livenet), the TCP transport
+# (netwire, including the differential chaos suite) and its driver
+# (arun), the multi-process launcher (cmd/wfnet), the actor protocol
+# they drive, and the shared interning/memoization tables (temporal)
+# with their single-owner consumers (param), whose equivalence property
+# tests double as concurrency stress under -race.
 race:
-	$(GO) test -race ./internal/core ./internal/livenet ./internal/actor ./internal/temporal ./internal/param
+	$(GO) test -race ./internal/core ./internal/livenet ./internal/netwire ./internal/arun ./cmd/wfnet ./internal/actor ./internal/temporal ./internal/param
 
 # Every benchmark must still compile and survive one iteration; keeps
 # the perf harness from rotting between measurement sessions.
 benchsmoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Every fuzz target gets a brief run; corpora live under each package's
+# testdata/fuzz/.  Targets run sequentially because go test allows only
+# one -fuzz pattern per invocation.
+fuzzsmoke:
+	$(GO) test -run=NONE -fuzz=FuzzDecodePayload -fuzztime=2s ./internal/actor
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=2s ./internal/spec
 
 bench:
 	$(GO) test -bench 'BenchmarkP' -benchtime 1x ./...

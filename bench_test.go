@@ -318,3 +318,12 @@ func BenchmarkKnowledgeReduce(b *testing.B) {
 		k.Reduce(guard)
 	}
 }
+
+// BenchmarkP10Transports: one full travel run over each transport —
+// simulator, goroutine transport, loopback TCP — through the identical
+// arun driver (the P10 experiment).
+func BenchmarkP10Transports(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.P10()
+	}
+}

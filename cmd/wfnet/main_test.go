@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMain lets this test binary stand in for the wfnet executable:
+// when the coordinator forks workers it execs os.Executable() — which
+// under `go test` is the test binary — with the serve environment
+// marker set, and we divert straight into run() instead of the suite.
+func TestMain(m *testing.M) {
+	if os.Getenv(serveEnv) == "1" {
+		os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// TestLocalMultiProcess is the multi-process smoke test: the travel
+// workflow spread over two genuine OS worker processes plus the
+// coordinator, every inter-site message crossing real sockets and
+// process boundaries.
+func TestLocalMultiProcess(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-local", "2", "../../testdata/travel.wf"},
+		strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "satisfied: true") {
+		t.Errorf("run not satisfied:\n%s", got)
+	}
+	if strings.Contains(got, "UNRESOLVED") {
+		t.Errorf("run left events unresolved:\n%s", got)
+	}
+	if !strings.Contains(got, "worker 2:") {
+		t.Errorf("expected two workers in report:\n%s", got)
+	}
+}
+
+// TestLocalSingleWorker: the degenerate partition (all sites on one
+// worker) must behave identically.
+func TestLocalSingleWorker(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-local", "1", "../../testdata/mutex.wf"},
+		strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "satisfied: true") {
+		t.Errorf("run not satisfied:\n%s", out.String())
+	}
+}
+
+// TestUsageErrors: flag misuse exits 2 without touching the network.
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"../../testdata/travel.wf"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Errorf("no mode: exit %d, want 2", code)
+	}
+	if code := run([]string{"-serve", "../../testdata/travel.wf"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Errorf("-serve without -sites: exit %d, want 2", code)
+	}
+}

@@ -1,10 +1,17 @@
-// Command wfrun executes a .wf workflow specification on one of the
-// three schedulers (or all of them) over the simulated network and
-// reports the realized trace, decisions, and metrics.
+// Command wfrun executes a .wf workflow specification and reports the
+// realized trace, decisions, and metrics.
+//
+// The -transport flag selects the substrate:
+//
+//	sim   deterministic simulated network (default); the -sched flag
+//	      then picks the scheduler, or 'all' to compare all three
+//	live  in-process goroutine transport (internal/livenet)
+//	net   loopback TCP mesh, one node per site (internal/netwire)
 //
 // Usage:
 //
-//	wfrun [-sched distributed|central-residuation|central-automata|all]
+//	wfrun [-transport sim|live|net]
+//	      [-sched distributed|central-residuation|central-automata|all]
 //	      [-seed n] [-trace] [file.wf]
 package main
 
@@ -13,13 +20,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"repro/internal/arun"
+	"repro/internal/netwire"
 	"repro/internal/sched"
 	"repro/internal/spec"
 )
 
 func main() {
-	kindFlag := flag.String("sched", "distributed", "scheduler kind, or 'all' to compare")
+	transport := flag.String("transport", "sim", "transport: sim, live, or net")
+	kindFlag := flag.String("sched", "distributed", "scheduler kind, or 'all' to compare (sim transport only)")
 	seed := flag.Int64("seed", 1996, "simulation seed")
 	showDecisions := flag.Bool("trace", false, "print every decision")
 	flag.Parse()
@@ -33,19 +44,31 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, os.Stdout, *kindFlag, *seed, *showDecisions); err != nil {
+	if err := run(in, os.Stdout, *transport, *kindFlag, *seed, *showDecisions); err != nil {
 		fatal(err)
 	}
 }
 
-// run executes the spec read from in on the requested scheduler(s) and
-// writes the report to out.
-func run(in io.Reader, out io.Writer, kindFlag string, seed int64, showDecisions bool) error {
+// run executes the spec read from in on the requested transport and
+// scheduler(s) and writes the report to out.
+func run(in io.Reader, out io.Writer, transport, kindFlag string, seed int64, showDecisions bool) error {
 	s, err := spec.Parse(in)
 	if err != nil {
 		return err
 	}
+	switch transport {
+	case "", "sim":
+		return runSim(s, out, kindFlag, seed, showDecisions)
+	case "live", "net":
+		return runAsync(s, out, transport, seed)
+	default:
+		return fmt.Errorf("unknown transport %q (want sim, live, or net)", transport)
+	}
+}
 
+// runSim executes on the deterministic simulator through the
+// scheduler harness, the paper's measured configuration.
+func runSim(s *spec.Spec, out io.Writer, kindFlag string, seed int64, showDecisions bool) error {
 	var kinds []sched.Kind
 	if kindFlag == "all" {
 		kinds = sched.Kinds()
@@ -79,6 +102,41 @@ func run(in io.Reader, out io.Writer, kindFlag string, seed int64, showDecisions
 		}
 		fmt.Fprintln(out)
 	}
+	return nil
+}
+
+// runAsync executes on an asynchronous transport through the arun
+// driver (always the distributed per-event-actor scheduler).
+func runAsync(s *spec.Spec, out io.Writer, transport string, seed int64) error {
+	var tr arun.Transport
+	switch transport {
+	case "live":
+		tr = arun.NewLiveTransport()
+	case "net":
+		mesh, err := netwire.NewMesh(arun.DefaultDriver, arun.Sites(s), nil)
+		if err != nil {
+			return err
+		}
+		tr = mesh
+	}
+	defer tr.Close()
+	_ = seed // asynchronous transports have no seedable schedule
+	r, err := arun.New(tr, s, arun.Options{IdleTimeout: 30 * time.Second})
+	if err != nil {
+		return err
+	}
+	o, err := r.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "== distributed over %s ==\n", transport)
+	fmt.Fprintf(out, "trace:     %v\n", o.Trace)
+	fmt.Fprintf(out, "satisfied: %v\n", o.Satisfied)
+	if len(o.Unresolved) > 0 {
+		fmt.Fprintf(out, "UNRESOLVED: %v\n", o.Unresolved)
+	}
+	fmt.Fprintf(out, "observed:  %d announcements, %d decisions\n", o.Announcements, o.Decisions)
+	fmt.Fprintln(out)
 	return nil
 }
 

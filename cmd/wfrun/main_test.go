@@ -14,7 +14,7 @@ func TestRunAllSchedulers(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer
-		if err := run(f, &out, "all", 1996, true); err != nil {
+		if err := run(f, &out, "sim", "all", 1996, true); err != nil {
 			t.Fatalf("%s: %v", file, err)
 		}
 		f.Close()
@@ -36,12 +36,42 @@ func TestRunAllSchedulers(t *testing.T) {
 	}
 }
 
+// TestRunAsyncTransports exercises the live and net transports through
+// the CLI path.
+func TestRunAsyncTransports(t *testing.T) {
+	for _, transport := range []string{"live", "net"} {
+		f, err := os.Open("../../testdata/travel.wf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		err = run(f, &out, transport, "distributed", 1, false)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", transport, err)
+		}
+		text := out.String()
+		if !strings.Contains(text, "== distributed over "+transport+" ==") {
+			t.Errorf("%s: missing header:\n%s", transport, text)
+		}
+		if !strings.Contains(text, "satisfied: true") {
+			t.Errorf("%s: run not satisfied:\n%s", transport, text)
+		}
+		if strings.Contains(text, "UNRESOLVED") {
+			t.Errorf("%s: run stalled:\n%s", transport, text)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("nonsense"), &out, "distributed", 1, false); err == nil {
+	if err := run(strings.NewReader("nonsense"), &out, "sim", "distributed", 1, false); err == nil {
 		t.Fatal("bad spec must error")
 	}
-	if err := run(strings.NewReader("dep ~a + b"), &out, "warp", 1, false); err == nil {
+	if err := run(strings.NewReader("dep ~a + b"), &out, "sim", "warp", 1, false); err == nil {
 		t.Fatal("unknown scheduler must error")
+	}
+	if err := run(strings.NewReader("dep ~a + b"), &out, "carrier-pigeon", "distributed", 1, false); err == nil {
+		t.Fatal("unknown transport must error")
 	}
 }

@@ -1,0 +1,322 @@
+package actor
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/simnet"
+)
+
+// Wire codec for the actor protocol: a compact, hand-rolled binary
+// encoding used by internal/netwire to carry the messages of this
+// package across OS processes.  No reflection or gob sits on the hot
+// path — each message type has an explicit append/parse pair — and
+// every payload starts with a version byte so incompatible nodes fail
+// loudly instead of misparsing.
+//
+// Layout: [version][kind][fields...].  Strings are uvarint-length-
+// prefixed bytes; signed integers are zigzag varints; symbols are a
+// flags byte (bit0 = complement), the name, and a parameter list whose
+// entries are a flags byte (bit0 = variable) plus the term text.  The
+// decoder is total: arbitrary input yields a message or an error,
+// never a panic or an oversized allocation (FuzzDecodePayload locks
+// this in).
+
+// WireVersion identifies the codec revision; bump on any layout change.
+const WireVersion = 1
+
+// Message kind tags.
+const (
+	kindAttempt byte = iota + 1
+	kindAnnounce
+	kindInquire
+	kindInquireReply
+	kindNudge
+	kindRelease
+	kindDecision
+)
+
+// Decoder hardening bounds: real protocol messages are tiny, so any
+// input exceeding these is malformed and must not allocate.
+const (
+	maxWireString = 1 << 16
+	maxWireList   = 1 << 12
+)
+
+// AppendPayload appends the encoded payload to dst and returns the
+// extended slice.  It errors on payload types outside the actor
+// protocol.
+func AppendPayload(dst []byte, payload any) ([]byte, error) {
+	dst = append(dst, WireVersion)
+	switch m := payload.(type) {
+	case AttemptMsg:
+		dst = append(dst, kindAttempt)
+		dst = appendSym(dst, m.Sym)
+		dst = appendBool(dst, m.Forced)
+		dst = appendString(dst, string(m.ReplyTo))
+	case AnnounceMsg:
+		dst = append(dst, kindAnnounce)
+		dst = appendSym(dst, m.Sym)
+		dst = binary.AppendVarint(dst, m.At)
+	case InquireMsg:
+		dst = append(dst, kindInquire)
+		dst = appendSym(dst, m.Target)
+		dst = appendSym(dst, m.Requester)
+		dst = appendString(dst, string(m.ReplyTo))
+		dst = binary.AppendVarint(dst, int64(m.Round))
+		dst = appendSyms(dst, m.Hyp)
+	case InquireReplyMsg:
+		dst = append(dst, kindInquireReply)
+		dst = appendSym(dst, m.Target)
+		dst = appendSym(dst, m.Requester)
+		dst = binary.AppendVarint(dst, int64(m.Round))
+		dst = appendBool(dst, m.Occurred)
+		dst = binary.AppendVarint(dst, m.At)
+		dst = appendBool(dst, m.Impossible)
+		dst = appendBool(dst, m.Held)
+		dst = appendBool(dst, m.Promised)
+		dst = appendSyms(dst, m.Conds)
+		dst = appendBool(dst, m.AfterReq)
+	case NudgeMsg:
+		dst = append(dst, kindNudge)
+		dst = appendSym(dst, m.Sym)
+	case ReleaseMsg:
+		dst = append(dst, kindRelease)
+		dst = appendSym(dst, m.Target)
+		dst = appendSym(dst, m.Requester)
+		dst = binary.AppendVarint(dst, int64(m.Round))
+		dst = appendBool(dst, m.Promise)
+		dst = appendBool(dst, m.Fired)
+	case DecisionMsg:
+		dst = append(dst, kindDecision)
+		dst = appendSym(dst, m.Sym)
+		dst = appendBool(dst, m.Accepted)
+		dst = binary.AppendVarint(dst, m.At)
+		dst = binary.AppendVarint(dst, int64(m.AttemptedAt))
+		dst = binary.AppendVarint(dst, int64(m.DecidedAt))
+		dst = appendString(dst, m.Reason)
+	default:
+		return nil, fmt.Errorf("actor: cannot encode payload %T", payload)
+	}
+	return dst, nil
+}
+
+// DecodePayload parses one encoded payload.
+func DecodePayload(data []byte) (any, error) {
+	r := &wireReader{buf: data}
+	version := r.byte()
+	if r.err == nil && version != WireVersion {
+		return nil, fmt.Errorf("actor: wire version %d, want %d", version, WireVersion)
+	}
+	kind := r.byte()
+	var out any
+	switch kind {
+	case kindAttempt:
+		out = AttemptMsg{Sym: r.sym(), Forced: r.bool(), ReplyTo: simnet.SiteID(r.string())}
+	case kindAnnounce:
+		out = AnnounceMsg{Sym: r.sym(), At: r.varint()}
+	case kindInquire:
+		out = InquireMsg{Target: r.sym(), Requester: r.sym(),
+			ReplyTo: simnet.SiteID(r.string()), Round: int(r.varint()), Hyp: r.syms()}
+	case kindInquireReply:
+		out = InquireReplyMsg{Target: r.sym(), Requester: r.sym(), Round: int(r.varint()),
+			Occurred: r.bool(), At: r.varint(), Impossible: r.bool(), Held: r.bool(),
+			Promised: r.bool(), Conds: r.syms(), AfterReq: r.bool()}
+	case kindNudge:
+		out = NudgeMsg{Sym: r.sym()}
+	case kindRelease:
+		out = ReleaseMsg{Target: r.sym(), Requester: r.sym(), Round: int(r.varint()),
+			Promise: r.bool(), Fired: r.bool()}
+	case kindDecision:
+		out = DecisionMsg{Sym: r.sym(), Accepted: r.bool(), At: r.varint(),
+			AttemptedAt: simnet.Time(r.varint()), DecidedAt: simnet.Time(r.varint()),
+			Reason: r.string()}
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("actor: unknown wire kind %d", kind)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != r.pos {
+		return nil, fmt.Errorf("actor: %d trailing bytes after payload", len(r.buf)-r.pos)
+	}
+	return out, nil
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendSym(dst []byte, s algebra.Symbol) []byte {
+	var flags byte
+	if s.Bar {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = appendString(dst, s.Name)
+	dst = binary.AppendUvarint(dst, uint64(len(s.Params)))
+	for _, t := range s.Params {
+		var tf byte
+		if t.IsVar {
+			tf |= 1
+		}
+		dst = append(dst, tf)
+		dst = appendString(dst, t.Value)
+	}
+	return dst
+}
+
+func appendSyms(dst []byte, syms []algebra.Symbol) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(syms)))
+	for _, s := range syms {
+		dst = appendSym(dst, s)
+	}
+	return dst
+}
+
+// wireReader is a bounds-checked cursor with sticky errors: after the
+// first failure every read returns a zero value, so message parsers
+// can read field sequences without per-field error plumbing.
+type wireReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("actor: "+format, args...)
+	}
+}
+
+func (r *wireReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.buf) {
+		r.fail("truncated payload at byte %d", r.pos)
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *wireReader) bool() bool {
+	switch r.byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("invalid bool at byte %d", r.pos-1)
+		return false
+	}
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("bad uvarint at byte %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *wireReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("bad varint at byte %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *wireReader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxWireString {
+		r.fail("string length %d exceeds limit", n)
+		return ""
+	}
+	if r.pos+int(n) > len(r.buf) {
+		r.fail("truncated string at byte %d", r.pos)
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+func (r *wireReader) sym() algebra.Symbol {
+	flags := r.byte()
+	if r.err == nil && flags > 1 {
+		r.fail("invalid symbol flags %d", flags)
+	}
+	s := algebra.Symbol{Name: r.string(), Bar: flags&1 != 0}
+	n := r.uvarint()
+	if r.err != nil {
+		return algebra.Symbol{}
+	}
+	if n > maxWireList {
+		r.fail("parameter count %d exceeds limit", n)
+		return algebra.Symbol{}
+	}
+	if n > 0 {
+		s.Params = make([]algebra.Term, 0, min(int(n), 64))
+		for i := 0; i < int(n); i++ {
+			tf := r.byte()
+			if r.err == nil && tf > 1 {
+				r.fail("invalid term flags %d", tf)
+			}
+			s.Params = append(s.Params, algebra.Term{Value: r.string(), IsVar: tf&1 != 0})
+			if r.err != nil {
+				return algebra.Symbol{}
+			}
+		}
+	}
+	return s
+}
+
+func (r *wireReader) syms() []algebra.Symbol {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxWireList {
+		r.fail("symbol count %d exceeds limit", n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]algebra.Symbol, 0, min(int(n), 64))
+	for i := 0; i < int(n); i++ {
+		out = append(out, r.sym())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}

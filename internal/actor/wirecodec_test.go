@@ -1,0 +1,111 @@
+package actor
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+// samplePayloads covers every message type, polarity, parameters, and
+// the empty/maximal corners of each field.
+func samplePayloads() []any {
+	e := algebra.Sym("e")
+	f := algebra.Sym("f").Complement()
+	p := algebra.SymP("acct", algebra.Var("x"), algebra.Const("7"))
+	return []any{
+		AttemptMsg{Sym: e},
+		AttemptMsg{Sym: f, Forced: true, ReplyTo: "site-9"},
+		AnnounceMsg{Sym: p, At: -3},
+		AnnounceMsg{Sym: e, At: 1<<62 + 5},
+		InquireMsg{Target: e, Requester: f, ReplyTo: "s0", Round: 42,
+			Hyp: []algebra.Symbol{e, f, p}},
+		InquireMsg{Target: p, Requester: e},
+		InquireReplyMsg{Target: e, Requester: f, Round: 7, Occurred: true, At: 12},
+		InquireReplyMsg{Target: f, Requester: e, Round: -1, Impossible: true},
+		InquireReplyMsg{Target: e, Requester: p, Held: true, Promised: true,
+			Conds: []algebra.Symbol{f}, AfterReq: true},
+		NudgeMsg{Sym: f},
+		ReleaseMsg{Target: e, Requester: f, Round: 3, Promise: true, Fired: true},
+		ReleaseMsg{Target: p, Requester: e},
+		DecisionMsg{Sym: e, Accepted: true, At: 9, AttemptedAt: 100, DecidedAt: 250},
+		DecisionMsg{Sym: f, Reason: "guard reduced to 0"},
+	}
+}
+
+func TestWireCodecRoundTrip(t *testing.T) {
+	for _, payload := range samplePayloads() {
+		enc, err := AppendPayload(nil, payload)
+		if err != nil {
+			t.Fatalf("encode %#v: %v", payload, err)
+		}
+		dec, err := DecodePayload(enc)
+		if err != nil {
+			t.Fatalf("decode %#v: %v", payload, err)
+		}
+		if !reflect.DeepEqual(payload, dec) {
+			t.Errorf("roundtrip mismatch:\n sent %#v\n got  %#v", payload, dec)
+		}
+	}
+}
+
+func TestWireCodecRejectsUnknownPayload(t *testing.T) {
+	if _, err := AppendPayload(nil, struct{ X int }{1}); err == nil {
+		t.Fatal("encoding a foreign type must error")
+	}
+}
+
+func TestWireCodecRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            nil,
+		"version only":     {WireVersion},
+		"bad version":      {99, 1},
+		"unknown kind":     {WireVersion, 200},
+		"truncated symbol": {WireVersion, 1, 0, 5, 'a'},
+		"huge string":      {WireVersion, 6, 0, 0xff, 0xff, 0xff, 0x7f},
+	}
+	for name, data := range cases {
+		if _, err := DecodePayload(data); err == nil {
+			t.Errorf("%s: decode %v must error", name, data)
+		}
+	}
+	enc, err := AppendPayload(nil, NudgeMsg{Sym: algebra.Sym("e")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePayload(append(enc, 0)); err == nil {
+		t.Error("trailing bytes must error")
+	}
+}
+
+// FuzzDecodePayload guarantees the decoder is total (no panics, no
+// unbounded allocation) and canonical: whatever decodes successfully
+// must re-encode and decode to the same message.
+func FuzzDecodePayload(f *testing.F) {
+	for _, payload := range samplePayloads() {
+		enc, err := AppendPayload(nil, payload)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{WireVersion, kindInquire})
+	f.Add([]byte{WireVersion, kindDecision, 0, 1, 'e', 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := DecodePayload(data)
+		if err != nil {
+			return
+		}
+		enc, err := AppendPayload(nil, msg)
+		if err != nil {
+			t.Fatalf("decoded %#v does not re-encode: %v", msg, err)
+		}
+		again, err := DecodePayload(enc)
+		if err != nil {
+			t.Fatalf("re-encoded %#v does not decode: %v", msg, err)
+		}
+		if !reflect.DeepEqual(msg, again) {
+			t.Fatalf("codec not canonical:\n first  %#v\n second %#v", msg, again)
+		}
+	})
+}

@@ -1,0 +1,562 @@
+// Package arun executes compiled workflows over an asynchronous
+// transport — the in-process goroutine transport (internal/livenet), a
+// loopback TCP mesh, or a multi-process cluster (internal/netwire) —
+// and, crucially, over the deterministic simulator through the same
+// code path, so a simulated run is a differential oracle for the real
+// ones.
+//
+// The runner installs one actor per event at its placed site (exactly
+// as internal/sched does on the simulator), subscribes a driver site
+// to every event, and then drives the spec's agent scripts serially:
+// one attempt at a time, quiescing the transport between attempts, in
+// the deterministic merge order of the agents' think times.  After the
+// agents drain it closes the run out to a maximal trace with the same
+// complement-then-positive passes as the simulator harness.  The final
+// outcome — which events occurred, which were left unresolved, whether
+// the trace satisfies the workflow — is then comparable across
+// transports even though wall-clock interleavings differ; the chaos
+// tests in internal/netwire assert equality under seeded fault plans.
+package arun
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+	"repro/internal/spec"
+	"repro/internal/temporal"
+)
+
+// DefaultDriver is the site the runner itself occupies: attempts
+// originate here and announcements/decisions are observed here.
+const DefaultDriver simnet.SiteID = "ctl"
+
+// Transport is the asynchronous substrate the runner installs actors
+// on.  Register must be called for every hosted site before messages
+// flow; WaitIdle blocks until no messages are in flight (stably) or
+// the timeout elapses.
+type Transport interface {
+	actor.Net
+	Register(site simnet.SiteID, h func(n actor.Net, payload any))
+	WaitIdle(timeout time.Duration) bool
+	Close()
+}
+
+// Options configure a Runner.
+type Options struct {
+	// Driver is the runner's own site (default "ctl").  It must not
+	// collide with any actor site.
+	Driver simnet.SiteID
+	// Hosted filters which sites this process installs actors for; nil
+	// hosts everything.  Multi-process deployments (cmd/wfnet) host
+	// disjoint subsets while sharing the full directory.
+	Hosted func(site simnet.SiteID) bool
+	// IdleTimeout bounds each quiescence wait (default 10s).
+	IdleTimeout time.Duration
+	// Compiled reuses a pre-compiled workflow (optional).
+	Compiled *core.Compiled
+}
+
+// Outcome is the comparable result of a run.
+type Outcome struct {
+	// Occurred maps occurred symbol keys (either polarity) to their
+	// occurrence indices.  Indices are transport-specific; the key set
+	// is not.
+	Occurred map[string]int64
+	// Trace lists the occurred keys in occurrence-index order.
+	Trace []string
+	// Satisfied reports whether the realized trace satisfies every
+	// dependency.
+	Satisfied bool
+	// Unresolved lists base events with neither polarity occurred.
+	Unresolved []string
+	// Decisions and Announcements count driver-observed messages.
+	Decisions, Announcements int
+}
+
+// Fingerprint is a transport-independent summary: the occurred key
+// set, the unresolved set, and satisfaction.  Two runs of the same
+// spec agree on it iff they reached the same final state.
+func (o *Outcome) Fingerprint() string {
+	keys := make([]string, 0, len(o.Occurred))
+	for k := range o.Occurred {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("occurred{%s} unresolved{%s} satisfied=%v",
+		strings.Join(keys, ","), strings.Join(o.Unresolved, ","), o.Satisfied)
+}
+
+// Runner hosts a compiled spec on a transport and drives it.
+type Runner struct {
+	tr      Transport
+	sp      *spec.Spec
+	c       *core.Compiled
+	dir     *actor.Directory
+	bases   []algebra.Symbol // workflow alphabet, sorted
+	extras  []algebra.Symbol // agent-attempted symbols outside it
+	driver  simnet.SiteID
+	timeout time.Duration
+
+	mu   sync.Mutex
+	occ  map[string]occRec
+	dec  map[string]actor.DecisionMsg
+	anns int
+	decs int
+}
+
+type occRec struct {
+	sym algebra.Symbol
+	at  int64
+}
+
+// Sites returns the sorted distinct actor sites of a spec: the
+// placement of every alphabet event plus every agent-attempted extra.
+// cmd/wfnet partitions this list over its worker processes.
+func Sites(sp *spec.Spec) []simnet.SiteID {
+	pl := sp.Placement()
+	seen := map[simnet.SiteID]bool{}
+	var out []simnet.SiteID
+	add := func(b algebra.Symbol) {
+		site := pl.SiteFor(b)
+		if !seen[site] {
+			seen[site] = true
+			out = append(out, site)
+		}
+	}
+	bases, extras := alphabetAndExtras(sp)
+	for _, b := range bases {
+		add(b)
+	}
+	for _, x := range extras {
+		add(x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// alphabetAndExtras splits the attempted universe: the workflow
+// alphabet's bases (sorted) and the out-of-alphabet bases the agent
+// scripts mention, which get unconstrained ⊤-guard actors.
+func alphabetAndExtras(sp *spec.Spec) (bases, extras []algebra.Symbol) {
+	bases = sp.Workflow.Alphabet().Bases()
+	sort.Slice(bases, func(i, j int) bool { return bases[i].Less(bases[j]) })
+	known := map[string]bool{}
+	for _, b := range bases {
+		known[b.Key()] = true
+	}
+	var walk func(steps []sched.Step)
+	walk = func(steps []sched.Step) {
+		for _, st := range steps {
+			b := st.Sym.Base()
+			if !known[b.Key()] {
+				known[b.Key()] = true
+				extras = append(extras, b)
+			}
+			walk(st.OnReject)
+		}
+	}
+	for _, ag := range sp.Agents {
+		walk(ag.Steps)
+	}
+	sort.Slice(extras, func(i, j int) bool { return extras[i].Less(extras[j]) })
+	return bases, extras
+}
+
+// New compiles (unless pre-compiled), installs the hosted actors on
+// the transport, and registers the driver.  The directory — placement
+// and subscriptions — is computed identically in every process
+// regardless of the Hosted filter, so cross-process routing agrees.
+func New(tr Transport, sp *spec.Spec, opt Options) (*Runner, error) {
+	driver := opt.Driver
+	if driver == "" {
+		driver = DefaultDriver
+	}
+	timeout := opt.IdleTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	c := opt.Compiled
+	if c == nil {
+		var err error
+		if c, err = core.Compile(sp.Workflow); err != nil {
+			return nil, err
+		}
+	}
+	hosted := opt.Hosted
+	if hosted == nil {
+		hosted = func(simnet.SiteID) bool { return true }
+	}
+
+	r := &Runner{
+		tr: tr, sp: sp, c: c, dir: actor.NewDirectory(),
+		driver: driver, timeout: timeout,
+		occ: map[string]occRec{}, dec: map[string]actor.DecisionMsg{},
+	}
+	r.bases, r.extras = alphabetAndExtras(sp)
+	pl := sp.Placement()
+	all := append(append([]algebra.Symbol{}, r.bases...), r.extras...)
+	for _, b := range all {
+		site := pl.SiteFor(b)
+		if site == driver {
+			return nil, fmt.Errorf("arun: event %s placed on the driver site %q", b, driver)
+		}
+		r.dir.Place(b, site)
+		// The driver observes every occurrence: resolution state and
+		// outcome traces are driven off these announcements, which is
+		// what makes the runner work across process boundaries.
+		r.dir.Subscribe(b, driver)
+	}
+	for _, b := range r.bases {
+		site := pl.SiteFor(b)
+		for _, polKey := range []string{b.Key(), b.Complement().Key()} {
+			if eg := c.Guards[polKey]; eg != nil {
+				for _, w := range eg.Watches {
+					r.dir.Subscribe(w, site)
+				}
+			}
+		}
+	}
+
+	hosts := map[simnet.SiteID]*siteHost{}
+	host := func(site simnet.SiteID) *siteHost {
+		h, ok := hosts[site]
+		if !ok {
+			h = &siteHost{site: site, actors: map[string]*actor.Actor{}}
+			hosts[site] = h
+		}
+		return h
+	}
+	for _, b := range r.bases {
+		site := pl.SiteFor(b)
+		if !hosted(site) {
+			continue
+		}
+		host(site).add(actor.New(b, site, r.dir, nil,
+			guardSpecFor(c, b), guardSpecFor(c, b.Complement())))
+	}
+	for _, x := range r.extras {
+		site := pl.SiteFor(x)
+		if !hosted(site) {
+			continue
+		}
+		host(site).add(actor.New(x, site, r.dir, nil,
+			actor.GuardSpec{Guard: temporal.TrueF()},
+			actor.GuardSpec{Guard: temporal.TrueF()}))
+	}
+	for _, key := range sp.Triggerable() {
+		s, err := algebra.ParseSymbol(key)
+		if err != nil {
+			return nil, fmt.Errorf("arun: triggerable %q: %w", key, err)
+		}
+		if h, ok := hosts[pl.SiteFor(s)]; ok {
+			a, ok := h.actors[s.Base().Key()]
+			if !ok {
+				return nil, fmt.Errorf("arun: triggerable %q has no actor", key)
+			}
+			a.SetTriggerable(s)
+		}
+	}
+
+	sites := make([]simnet.SiteID, 0, len(hosts))
+	for site := range hosts {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, site := range sites {
+		h := hosts[site]
+		tr.Register(site, h.deliver)
+	}
+	if hosted(driver) {
+		tr.Register(driver, r.onDriverMsg)
+	}
+	return r, nil
+}
+
+// guardSpecFor assembles a polarity's guard spec (with the consensus
+// elimination facts, as the distributed scheduler defaults to).
+func guardSpecFor(c *core.Compiled, s algebra.Symbol) actor.GuardSpec {
+	gs := actor.GuardSpec{Guard: c.GuardOf(s)}
+	if eg, ok := c.Guards[s.Key()]; ok && len(eg.LocalNeg) > 0 {
+		gs.LocalNeg = map[string]algebra.Symbol{}
+		for key := range eg.LocalNeg {
+			f, err := algebra.ParseSymbol(key)
+			if err != nil {
+				panic(err)
+			}
+			gs.LocalNeg[key] = f
+		}
+	}
+	return gs
+}
+
+// siteHost demultiplexes one site's messages among its actors, in
+// sorted actor order so broadcast fan-out is deterministic across
+// transports.
+type siteHost struct {
+	site   simnet.SiteID
+	actors map[string]*actor.Actor
+	order  []string
+}
+
+func (h *siteHost) add(a *actor.Actor) {
+	key := a.Base().Key()
+	h.actors[key] = a
+	h.order = append(h.order, key)
+	sort.Strings(h.order)
+}
+
+func (h *siteHost) one(n actor.Net, s algebra.Symbol, p any) {
+	a, ok := h.actors[s.Base().Key()]
+	if !ok {
+		panic(fmt.Sprintf("arun: site %s has no actor for %s", h.site, s.Base()))
+	}
+	a.Deliver(n, p)
+}
+
+func (h *siteHost) deliver(n actor.Net, p any) {
+	switch msg := p.(type) {
+	case actor.AttemptMsg:
+		h.one(n, msg.Sym, p)
+	case actor.AnnounceMsg:
+		for _, k := range h.order {
+			h.actors[k].Deliver(n, p)
+		}
+	case actor.NudgeMsg:
+		for _, k := range h.order {
+			h.actors[k].Deliver(n, p)
+		}
+	case actor.InquireMsg:
+		h.one(n, msg.Target, p)
+	case actor.InquireReplyMsg:
+		h.one(n, msg.Requester, p)
+	case actor.ReleaseMsg:
+		h.one(n, msg.Target, p)
+	default:
+		panic(fmt.Sprintf("arun: site %s: unexpected payload %T", h.site, p))
+	}
+}
+
+// onDriverMsg records announcements and decisions arriving at the
+// driver site.  It runs on a transport goroutine, concurrently with
+// the drive loop.
+func (r *Runner) onDriverMsg(_ actor.Net, p any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch m := p.(type) {
+	case actor.AnnounceMsg:
+		r.anns++
+		if _, seen := r.occ[m.Sym.Key()]; !seen {
+			r.occ[m.Sym.Key()] = occRec{sym: m.Sym, at: m.At}
+		}
+	case actor.DecisionMsg:
+		r.decs++
+		r.dec[m.Sym.Key()] = m
+	}
+	// Anything else addressed to the driver is protocol chatter the
+	// runner does not participate in; drop it.
+}
+
+func (r *Runner) takeDecision(key string) (actor.DecisionMsg, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.dec[key]
+	if ok {
+		delete(r.dec, key)
+	}
+	return d, ok
+}
+
+func (r *Runner) resolved(b algebra.Symbol) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, pos := r.occ[b.Base().Key()]
+	_, neg := r.occ[b.Base().Complement().Key()]
+	return pos || neg
+}
+
+// attempt submits one attempt from the driver and quiesces.
+func (r *Runner) attempt(sym algebra.Symbol, forced bool) error {
+	site, err := r.dir.SiteOf(sym)
+	if err != nil {
+		return err
+	}
+	r.tr.Send(r.driver, site, actor.AttemptMsg{Sym: sym, Forced: forced, ReplyTo: r.driver})
+	if !r.tr.WaitIdle(r.timeout) {
+		return fmt.Errorf("arun: transport did not quiesce after attempting %s", sym)
+	}
+	return nil
+}
+
+// agState is one agent script mid-drive.
+type agState struct {
+	id      string
+	queue   []sched.Step
+	waiting string // outstanding attempt's symbol key, "" if none
+	clock   simnet.Time
+}
+
+// Run drives the agents to completion (or stall), closes the run out
+// to a maximal trace, and returns the outcome.
+func (r *Runner) Run() (*Outcome, error) {
+	agents := make([]*agState, 0, len(r.sp.Agents))
+	budget := 64
+	for _, ag := range r.sp.Agents {
+		agents = append(agents, &agState{id: ag.ID, queue: append([]sched.Step(nil), ag.Steps...)})
+		budget += 8 * len(ag.Steps)
+	}
+
+	// fold consumes arrived decisions for outstanding attempts.
+	fold := func() bool {
+		changed := false
+		for _, ag := range agents {
+			if ag.waiting == "" {
+				continue
+			}
+			d, ok := r.takeDecision(ag.waiting)
+			if !ok {
+				continue
+			}
+			ag.waiting = ""
+			if d.Accepted {
+				ag.queue = ag.queue[1:]
+			} else {
+				ag.queue = append([]sched.Step(nil), ag.queue[0].OnReject...)
+			}
+			changed = true
+		}
+		return changed
+	}
+	// pick selects the next ready agent in the deterministic merge
+	// order: smallest virtual time of its head step, then agent order.
+	pick := func() *agState {
+		var best *agState
+		var bestAt simnet.Time
+		for _, ag := range agents {
+			if ag.waiting != "" || len(ag.queue) == 0 {
+				continue
+			}
+			at := ag.clock + ag.queue[0].Think
+			if best == nil || at < bestAt {
+				best, bestAt = ag, at
+			}
+		}
+		return best
+	}
+	// driveAgents pumps attempts until every agent is done or parked
+	// (its attempt neither accepted nor rejected yet).
+	driveAgents := func() (bool, error) {
+		progress := false
+		for {
+			if fold() {
+				progress = true
+				continue
+			}
+			ag := pick()
+			if ag == nil {
+				return progress, nil
+			}
+			if budget--; budget < 0 {
+				return progress, fmt.Errorf("arun: agent drive did not converge")
+			}
+			step := ag.queue[0]
+			ag.clock += step.Think
+			ag.waiting = step.Sym.Key()
+			if err := r.attempt(step.Sym, step.Forced); err != nil {
+				return progress, err
+			}
+			progress = true
+		}
+	}
+
+	// The main loop interleaves agent progress with closeout passes:
+	// complements of unresolved events first ("this will never occur"),
+	// then — where the complement is refused, i.e. the event is
+	// obligated — the events themselves.  Mirrors sched.runCloseout.
+	triedComp := map[string]bool{}
+	triedPos := map[string]bool{}
+	for pass := 0; pass < 2*len(r.bases)+2; pass++ {
+		progress, err := driveAgents()
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range r.bases {
+			if r.resolved(b) {
+				continue
+			}
+			switch {
+			case !triedComp[b.Key()]:
+				triedComp[b.Key()] = true
+				if err := r.attempt(b.Complement(), false); err != nil {
+					return nil, err
+				}
+				progress = true
+			case !triedPos[b.Key()]:
+				triedPos[b.Key()] = true
+				if err := r.attempt(b, false); err != nil {
+					return nil, err
+				}
+				progress = true
+			}
+		}
+		allResolved := true
+		for _, b := range r.bases {
+			if !r.resolved(b) {
+				allResolved = false
+				break
+			}
+		}
+		agentsDone := true
+		for _, ag := range agents {
+			if ag.waiting != "" || len(ag.queue) > 0 {
+				agentsDone = false
+				break
+			}
+		}
+		if (allResolved && agentsDone) || !progress {
+			break
+		}
+	}
+	if _, err := driveAgents(); err != nil {
+		return nil, err
+	}
+	return r.outcome(), nil
+}
+
+// outcome snapshots the driver's observations.
+func (r *Runner) outcome() *Outcome {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	recs := make([]occRec, 0, len(r.occ))
+	for _, rec := range r.occ {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].at < recs[j].at })
+	out := &Outcome{
+		Occurred:      make(map[string]int64, len(recs)),
+		Decisions:     r.decs,
+		Announcements: r.anns,
+	}
+	trace := make(algebra.Trace, 0, len(recs))
+	for _, rec := range recs {
+		out.Occurred[rec.sym.Key()] = rec.at
+		out.Trace = append(out.Trace, rec.sym.Key())
+		trace = append(trace, rec.sym)
+	}
+	out.Satisfied = core.SatisfiesAll(r.sp.Workflow, trace)
+	for _, b := range r.bases {
+		_, pos := r.occ[b.Key()]
+		_, neg := r.occ[b.Complement().Key()]
+		if !pos && !neg {
+			out.Unresolved = append(out.Unresolved, b.Key())
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package arun
+
+import (
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/livenet"
+	"repro/internal/netwire"
+	"repro/internal/simnet"
+)
+
+// SimTransport adapts the deterministic simulator to the Transport
+// interface.  A run over it is bit-for-bit reproducible given the
+// seed, which is what makes it the differential oracle: the same
+// install and drive code produces a reference outcome the concurrent
+// transports are compared against.  WaitIdle runs the virtual clock to
+// quiescence, so "idle" is exact rather than observed.
+type SimTransport struct {
+	Net      *simnet.Network
+	maxSteps int
+}
+
+// NewSimTransport builds a simulator-backed transport; fp (optional)
+// installs the chaos schedule, under which the simulator also models
+// the reliable link layer — retransmissions and receiver dedup — in
+// virtual time.
+func NewSimTransport(seed int64, fp *simnet.FaultPlan) *SimTransport {
+	n := simnet.New(simnet.DefaultLatency(), seed)
+	n.SetFaultPlan(fp)
+	return &SimTransport{Net: n, maxSteps: 1_000_000}
+}
+
+// Register implements Transport.
+func (s *SimTransport) Register(site simnet.SiteID, h func(n actor.Net, payload any)) {
+	s.Net.AddSite(site, simnet.HandlerFunc(func(n *simnet.Network, m simnet.Message) {
+		h(n, m.Payload)
+	}))
+}
+
+// Send implements actor.Net.
+func (s *SimTransport) Send(from, to simnet.SiteID, payload any) {
+	s.Net.Send(from, to, payload)
+}
+
+// Now implements actor.Net.
+func (s *SimTransport) Now() simnet.Time { return s.Net.Now() }
+
+// NextOccurrence implements actor.Net.
+func (s *SimTransport) NextOccurrence() int64 { return s.Net.NextOccurrence() }
+
+// WaitIdle drains the virtual event queue.
+func (s *SimTransport) WaitIdle(time.Duration) bool {
+	s.Net.Run(s.maxSteps)
+	return s.Net.Idle()
+}
+
+// Close implements Transport (no resources to release).
+func (s *SimTransport) Close() {}
+
+// LiveTransport adapts the in-process goroutine transport.
+type LiveTransport struct {
+	Net *livenet.Net
+}
+
+// NewLiveTransport builds a livenet-backed transport.
+func NewLiveTransport() *LiveTransport {
+	return &LiveTransport{Net: livenet.New()}
+}
+
+// Register implements Transport.
+func (l *LiveTransport) Register(site simnet.SiteID, h func(n actor.Net, payload any)) {
+	l.Net.AddSite(site, func(n *livenet.Net, p any) { h(n, p) })
+}
+
+// Send implements actor.Net.
+func (l *LiveTransport) Send(from, to simnet.SiteID, payload any) {
+	l.Net.Send(from, to, payload)
+}
+
+// Now implements actor.Net.
+func (l *LiveTransport) Now() simnet.Time { return l.Net.Now() }
+
+// NextOccurrence implements actor.Net.
+func (l *LiveTransport) NextOccurrence() int64 { return l.Net.NextOccurrence() }
+
+// WaitIdle implements Transport.
+func (l *LiveTransport) WaitIdle(timeout time.Duration) bool {
+	return l.Net.WaitIdle(timeout)
+}
+
+// Close implements Transport.
+func (l *LiveTransport) Close() { l.Net.Close() }
+
+// Compile-time checks that every adapter — and the TCP mesh itself —
+// satisfies the Transport contract.
+var (
+	_ Transport = (*SimTransport)(nil)
+	_ Transport = (*LiveTransport)(nil)
+	_ Transport = (*netwire.Mesh)(nil)
+)

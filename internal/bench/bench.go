@@ -98,6 +98,7 @@ func All() []Experiment {
 		{"P7", P7, "latency sensitivity: decision latency vs remote-link cost"},
 		{"P8", P8, "parallel vs sequential guard synthesis (worker pool)"},
 		{"P9", P9, "ablation: incremental vs from-scratch parametrized evaluation"},
+		{"P10", P10, "transport comparison: simnet vs livenet vs netwire"},
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/quiesce"
 	"repro/internal/simnet"
 )
 
@@ -25,7 +26,7 @@ type Handler func(n *Net, payload any)
 type Net struct {
 	start   time.Time
 	occ     atomic.Int64
-	pending atomic.Int64
+	pending quiesce.Tracker
 
 	mu    sync.Mutex
 	sites map[simnet.SiteID]*inbox
@@ -80,7 +81,7 @@ func (ib *inbox) loop() {
 		ib.mu.Unlock()
 
 		ib.handler(ib.net, payload)
-		ib.net.pending.Add(-1)
+		ib.net.pending.Done()
 	}
 }
 
@@ -111,24 +112,16 @@ func (n *Net) Now() simnet.Time {
 func (n *Net) NextOccurrence() int64 { return n.occ.Add(1) }
 
 // WaitIdle blocks until no messages are queued or being processed,
-// stable across two observations, or the timeout elapses.  It reports
-// whether quiescence was reached.
+// stable across several observations, or the timeout elapses.  It
+// reports whether quiescence was reached.  The accounting lives in
+// internal/quiesce, shared with the wire transport.
 func (n *Net) WaitIdle(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	stable := 0
-	for time.Now().Before(deadline) {
-		if n.pending.Load() == 0 {
-			stable++
-			if stable >= 3 {
-				return true
-			}
-		} else {
-			stable = 0
-		}
-		time.Sleep(time.Millisecond)
-	}
-	return n.pending.Load() == 0
+	return n.pending.WaitIdle(timeout)
 }
+
+// Pending returns the number of in-flight messages (queued or being
+// handled); mesh-level idle checks sum it across transports.
+func (n *Net) Pending() int64 { return n.pending.Pending() }
 
 // Close shuts down every site goroutine; pending messages are drained
 // first if the caller waited for idle.

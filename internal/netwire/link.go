@@ -1,0 +1,261 @@
+package netwire
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// link is the reliable outbound channel to one remote node: an
+// unacknowledged-frame queue drained by a single goroutine that dials
+// with exponential backoff plus jitter, retransmits on timeout
+// (go-back-N), and prunes on cumulative acknowledgements.
+type link struct {
+	node *Node
+	addr string
+
+	mu      sync.Mutex
+	frames  []*outFrame // unacked, ascending seq
+	nextSeq uint64
+	acked   uint64 // cumulative ack received
+
+	wake   chan struct{} // capacity 1: new frame or ack progress
+	closed chan struct{}
+}
+
+// outFrame is one queued payload; the DATA frame bytes are rebuilt per
+// transmission so each copy carries a fresh Lamport clock.
+type outFrame struct {
+	seq      uint64
+	from, to simnet.SiteID
+	payload  []byte // actor wire encoding
+	attempts int    // transmissions tried (session goroutine only)
+}
+
+func newLink(n *Node, addr string) *link {
+	return &link{
+		node:   n,
+		addr:   addr,
+		wake:   make(chan struct{}, 1),
+		closed: make(chan struct{}),
+	}
+}
+
+// enqueue appends a frame to the unacked queue and wakes the sender.
+// The caller has already counted it in the node's pending tracker; the
+// count is released when the acknowledgement prunes the frame.
+func (l *link) enqueue(from, to simnet.SiteID, payload []byte) {
+	l.mu.Lock()
+	l.nextSeq++
+	l.frames = append(l.frames, &outFrame{seq: l.nextSeq, from: from, to: to, payload: payload})
+	l.mu.Unlock()
+	l.signal()
+}
+
+func (l *link) signal() {
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (l *link) close() {
+	select {
+	case <-l.closed:
+	default:
+		close(l.closed)
+	}
+}
+
+// ack prunes frames covered by a cumulative acknowledgement, releasing
+// their pending counts.
+func (l *link) ack(upTo uint64) {
+	l.mu.Lock()
+	pruned := 0
+	for len(l.frames) > 0 && l.frames[0].seq <= upTo {
+		l.frames = l.frames[1:]
+		pruned++
+	}
+	if upTo > l.acked {
+		l.acked = upTo
+	}
+	l.mu.Unlock()
+	for i := 0; i < pruned; i++ {
+		l.node.pend.Done()
+	}
+	if pruned > 0 {
+		l.signal()
+	}
+}
+
+// run is the link's lifetime: dial, run a session until it fails, back
+// off, redial.  Backoff resets after any successful session.
+func (l *link) run() {
+	backoff := l.node.cfg.retryMin()
+	for {
+		select {
+		case <-l.closed:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", l.addr, 2*time.Second)
+		if err != nil {
+			l.node.logf("dial %s: %v (retry in ~%v)", l.addr, err, backoff)
+			select {
+			case <-l.closed:
+				return
+			case <-time.After(jitter(backoff)):
+			}
+			backoff = min(backoff*2, l.node.cfg.retryMax())
+			continue
+		}
+		backoff = l.node.cfg.retryMin()
+		l.session(conn)
+		select {
+		case <-l.closed:
+			return
+		default:
+		}
+	}
+}
+
+// session drives one established connection: HELLO, then transmit new
+// frames as they arrive, retransmitting from the oldest unacked frame
+// whenever the retransmission timer fires without ack progress.
+func (l *link) session(conn net.Conn) {
+	cw := newConnWriter(conn, l.node.cfg.writeTimeout())
+	defer func() {
+		cw.shutdown()
+		conn.Close()
+	}()
+
+	if err := cw.write(appendHello(nil, l.node.cfg.ID, l.node.clock.Load())); err != nil {
+		return
+	}
+
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			typ, body, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			if typ != frameAck {
+				l.node.logf("unexpected frame type %d on ack channel", typ)
+				return
+			}
+			upTo, err := parseAck(body)
+			if err != nil {
+				return
+			}
+			l.ack(upTo)
+		}
+	}()
+	// When the reader dies the connection is unusable; unblock the
+	// transmit loop so it notices via a write error or the done channel.
+	defer func() { <-readerDone }()
+
+	// nextSend is the first sequence number not yet transmitted in this
+	// session; everything unacked below it was sent on this connection.
+	l.mu.Lock()
+	nextSend := l.acked + 1
+	if len(l.frames) > 0 && l.frames[0].seq > nextSend {
+		nextSend = l.frames[0].seq
+	}
+	prevAcked := l.acked
+	l.mu.Unlock()
+	rto := l.node.cfg.retryMin()
+
+	for {
+		var toSend []*outFrame
+		l.mu.Lock()
+		if l.acked > prevAcked {
+			// Ack progress: the pipe is moving, reset the timeout.
+			prevAcked = l.acked
+			rto = l.node.cfg.retryMin()
+		}
+		for _, f := range l.frames {
+			if f.seq >= nextSend {
+				toSend = append(toSend, f)
+			}
+		}
+		if len(toSend) > 0 {
+			nextSend = toSend[len(toSend)-1].seq + 1
+		}
+		unacked := len(l.frames)
+		l.mu.Unlock()
+
+		for _, f := range toSend {
+			if err := l.transmit(cw, f); err != nil {
+				return
+			}
+		}
+
+		if unacked == 0 {
+			select {
+			case <-l.wake:
+			case <-l.closed:
+				return
+			case <-readerDone:
+				return
+			}
+			continue
+		}
+		select {
+		case <-l.wake:
+		case <-l.closed:
+			return
+		case <-readerDone:
+			return
+		case <-time.After(rto):
+			// Retransmission timeout without ack progress: go back to
+			// the oldest unacked frame and back off.
+			l.mu.Lock()
+			if l.acked == prevAcked && len(l.frames) > 0 {
+				nextSend = l.frames[0].seq
+			}
+			l.mu.Unlock()
+			rto = min(rto*2, l.node.cfg.retryMax())
+		}
+	}
+}
+
+// transmit writes one DATA frame, applying the fault plan: partitioned
+// or dropped frames are silently withheld (the retransmission timer
+// recovers them), duplicated frames are written twice, delayed and
+// reordered frames are written later from a timer.  Faults apply only
+// here — never to HELLO or ACK frames — so injected chaos is confined
+// to the payload path the reliability layer is built to mask.
+func (l *link) transmit(cw *connWriter, f *outFrame) error {
+	attempt := f.attempts
+	f.attempts++
+	fp := l.node.cfg.Fault
+	if fp == nil {
+		return cw.write(appendData(nil, f.seq, l.node.clock.Load(), f.from, f.to, f.payload))
+	}
+	if _, blocked := fp.Blocked(f.from, f.to, l.node.Now()); blocked {
+		return nil // withheld; retried after the partition heals
+	}
+	v := fp.VerdictFor(f.from, f.to, f.seq, attempt)
+	if v.Drop {
+		return nil
+	}
+	data := appendData(nil, f.seq, l.node.clock.Load(), f.from, f.to, f.payload)
+	if v.Extra > 0 {
+		d := time.Duration(v.Extra) * time.Microsecond
+		time.AfterFunc(d, func() {
+			cw.write(data) // late writes on a closed session are no-ops
+		})
+		return nil
+	}
+	if err := cw.write(data); err != nil {
+		return err
+	}
+	if v.Dup {
+		return cw.write(data)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package netwire
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/simnet"
+)
+
+// Mesh is an in-process cluster of Nodes — one per site — connected
+// over real loopback TCP.  Every message between sites crosses the
+// wire codec, the socket, and the reliability layer, so the mesh
+// exercises the full transport without forking processes; cmd/wfnet
+// runs the same Node code with the sites spread across OS processes.
+type Mesh struct {
+	driver simnet.SiteID
+	nodes  map[simnet.SiteID]*Node
+	order  []simnet.SiteID
+}
+
+// NewMesh builds, binds, and starts one node per site (plus the driver
+// site) on loopback.  Node indices — and therefore occurrence-index
+// tiebreaks — follow the sorted site order, deterministically.
+func NewMesh(driver simnet.SiteID, sites []simnet.SiteID, fp *simnet.FaultPlan) (*Mesh, error) {
+	seen := map[simnet.SiteID]bool{driver: true}
+	all := []simnet.SiteID{driver}
+	for _, s := range sites {
+		if !seen[s] {
+			seen[s] = true
+			all = append(all, s)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	m := &Mesh{driver: driver, nodes: make(map[simnet.SiteID]*Node, len(all)), order: all}
+	peers := make(map[simnet.SiteID]string, len(all))
+	for i, site := range all {
+		n := NewNode(Config{
+			ID:         string(site),
+			ListenAddr: "127.0.0.1:0",
+			NodeIndex:  i,
+			Fault:      fp,
+			// Loopback links fail fast and cheap; snappy retry bounds
+			// keep fault recovery (and the chaos suite) quick.
+			RetryMin: 5 * time.Millisecond,
+			RetryMax: 200 * time.Millisecond,
+		})
+		addr, err := n.Listen()
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.nodes[site] = n
+		peers[site] = addr
+	}
+	for _, n := range m.nodes {
+		n.Start(peers)
+	}
+	return m, nil
+}
+
+// Register hosts a site's handler on that site's node.
+func (m *Mesh) Register(site simnet.SiteID, h func(n actor.Net, payload any)) {
+	m.nodes[site].Register(site, h)
+}
+
+// Send routes a payload from the sending site's node.  Unknown sending
+// sites (driver-internal aliases) fall back to the driver's node.
+func (m *Mesh) Send(from, to simnet.SiteID, payload any) {
+	n, ok := m.nodes[from]
+	if !ok {
+		n = m.nodes[m.driver]
+	}
+	n.Send(from, to, payload)
+}
+
+// Now returns the driver node's clock.
+func (m *Mesh) Now() simnet.Time { return m.nodes[m.driver].Now() }
+
+// NextOccurrence issues an occurrence index from the driver node.
+func (m *Mesh) NextOccurrence() int64 { return m.nodes[m.driver].NextOccurrence() }
+
+// WaitIdle waits for genuine cluster-wide quiescence: the sum of all
+// nodes' pending work stably zero.
+func (m *Mesh) WaitIdle(timeout time.Duration) bool {
+	nodes := make([]*Node, 0, len(m.order))
+	for _, site := range m.order {
+		nodes = append(nodes, m.nodes[site])
+	}
+	return WaitIdleAll(timeout, nodes...)
+}
+
+// Stats sums delivery metrics over all nodes.
+func (m *Mesh) Stats() (delivered, deduped int64) {
+	for _, n := range m.nodes {
+		d, dd := n.Stats()
+		delivered += d
+		deduped += dd
+	}
+	return delivered, deduped
+}
+
+// Close shuts down every node.
+func (m *Mesh) Close() {
+	for _, n := range m.nodes {
+		n.Close()
+	}
+}

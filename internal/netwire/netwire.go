@@ -1,0 +1,680 @@
+// Package netwire is a real TCP transport for the actor protocol: the
+// same actor code (actor.Deliver) that runs on the deterministic
+// simulator and on the in-process goroutine transport here runs across
+// OS processes over sockets.
+//
+// The transport provides what honest distribution requires and the
+// in-process transports get for free:
+//
+//   - a compact length-prefixed binary framing over the actor wire
+//     codec (internal/actor/wirecodec.go), version-checked on both the
+//     frame and payload layer;
+//   - per-link outbound queues with connection reuse, reconnect with
+//     exponential backoff plus jitter, and bounded write deadlines;
+//   - at-least-once delivery: every DATA frame carries a per-link
+//     sequence number and is retained by the sender until the
+//     receiver's cumulative acknowledgement covers it; timeouts and
+//     reconnects retransmit (go-back-N), and the receiver deduplicates
+//     by sequence number, so retries never double-announce an event —
+//     announcements are idempotent in the paper's knowledge model, but
+//     holds, promises, and decisions are not;
+//   - a Lamport-style occurrence clock: NextOccurrence returns
+//     (counter << 10) | nodeIndex, frames carry the sender's counter,
+//     and receivers fold it in before delivering, so occurrence
+//     indices form a total order consistent with causality — the
+//     "consistent view of the temporal order" the paper's execution
+//     mechanism needs, without a central sequencer;
+//   - seeded fault injection (simnet.FaultPlan, shared with the
+//     simulator): outbound frames can be dropped, duplicated, delayed,
+//     reordered, or partitioned, and the reliability layer must — and
+//     does — mask all of it.  The differential chaos tests run the
+//     same workflows and plans against the simnet oracle.
+//
+// One Node is one transport endpoint (normally one OS process).  A
+// node hosts any number of sites; each site's handler runs on a single
+// goroutine, which is the serialization the actor protocol requires.
+package netwire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/quiesce"
+	"repro/internal/simnet"
+)
+
+// Frame layer constants.
+const (
+	frameVersion byte = 1
+
+	frameHello byte = 1
+	frameData  byte = 2
+	frameAck   byte = 3
+
+	// maxFrame bounds a frame body; anything larger is a protocol
+	// violation and kills the connection.
+	maxFrame = 1 << 20
+
+	// nodeBits is the width of the node-index field inside occurrence
+	// indices: at = lamport<<nodeBits | index.
+	nodeBits = 10
+	// MaxNodes is the number of distinct node indices.
+	MaxNodes = 1 << nodeBits
+)
+
+// Config describes one transport endpoint.
+type Config struct {
+	// ID uniquely names this node in the mesh (dedup state is keyed by
+	// it, so it must be stable across reconnects).
+	ID string
+	// ListenAddr is the TCP address to listen on (e.g. "127.0.0.1:0").
+	ListenAddr string
+	// NodeIndex breaks occurrence-index ties; it must be unique per
+	// node and < MaxNodes.
+	NodeIndex int
+	// Fault, when set, is applied to outbound DATA frames.
+	Fault *simnet.FaultPlan
+	// RetryMin/RetryMax bound the reconnect backoff and the
+	// retransmission timeout (defaults 15ms / 500ms).
+	RetryMin, RetryMax time.Duration
+	// WriteTimeout bounds each frame write (default 5s).
+	WriteTimeout time.Duration
+	// Logf, when set, receives transport diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) retryMin() time.Duration {
+	if c.RetryMin > 0 {
+		return c.RetryMin
+	}
+	return 15 * time.Millisecond
+}
+
+func (c *Config) retryMax() time.Duration {
+	if c.RetryMax > 0 {
+		return c.RetryMax
+	}
+	return 500 * time.Millisecond
+}
+
+func (c *Config) writeTimeout() time.Duration {
+	if c.WriteTimeout > 0 {
+		return c.WriteTimeout
+	}
+	return 5 * time.Second
+}
+
+// Node is one transport endpoint; it implements actor.Net for the
+// actors of its hosted sites.
+type Node struct {
+	cfg   Config
+	start time.Time
+	clock atomic.Int64 // Lamport occurrence counter
+	pend  quiesce.Tracker
+
+	lis net.Listener
+
+	mu     sync.Mutex
+	peers  map[simnet.SiteID]string // site → node address, fixed at Start
+	sites  map[simnet.SiteID]*inbox
+	links  map[string]*link     // by remote address
+	recvs  map[string]*recvPeer // by remote node id
+	closed bool
+
+	// Delivered counts DATA frames handed to site handlers; Deduped
+	// counts suppressed duplicates (metrics for the chaos tests and
+	// the P10 experiment).
+	delivered atomic.Int64
+	deduped   atomic.Int64
+}
+
+// NewNode creates an unstarted node.
+func NewNode(cfg Config) *Node {
+	if cfg.NodeIndex < 0 || cfg.NodeIndex >= MaxNodes {
+		panic(fmt.Sprintf("netwire: node index %d out of range", cfg.NodeIndex))
+	}
+	return &Node{
+		cfg:   cfg,
+		start: time.Now(),
+		sites: map[simnet.SiteID]*inbox{},
+		links: map[string]*link{},
+		recvs: map[string]*recvPeer{},
+	}
+}
+
+// Listen binds the node's listener and returns the concrete address
+// (useful with ":0").  Call before Start.
+func (n *Node) Listen() (string, error) {
+	lis, err := net.Listen("tcp", n.cfg.ListenAddr)
+	if err != nil {
+		return "", fmt.Errorf("netwire: %w", err)
+	}
+	n.lis = lis
+	return lis.Addr().String(), nil
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (n *Node) Addr() string {
+	if n.lis == nil {
+		return ""
+	}
+	return n.lis.Addr().String()
+}
+
+// Register hosts a site on this node.  The handler runs on a single
+// goroutine per site; it receives this node as the actor.Net to send
+// replies on.  All sites must be registered before messages flow.
+func (n *Node) Register(site simnet.SiteID, h func(net actor.Net, payload any)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.sites[site]; dup {
+		panic(fmt.Sprintf("netwire: duplicate site %q", site))
+	}
+	ib := &inbox{node: n, handler: func(p any) { h(n, p) }}
+	ib.cond = sync.NewCond(&ib.mu)
+	n.sites[site] = ib
+	go ib.loop()
+}
+
+// Start fixes the site→address routing table and begins accepting
+// connections.  Every remote site a hosted actor may address must
+// appear in peers.
+func (n *Node) Start(peers map[simnet.SiteID]string) {
+	n.mu.Lock()
+	n.peers = peers
+	n.mu.Unlock()
+	if n.lis == nil {
+		panic("netwire: Start before Listen")
+	}
+	go n.acceptLoop()
+}
+
+// Now returns wall microseconds since the node started — the
+// transport's clock for latency metrics and fault-plan partition
+// windows.
+func (n *Node) Now() simnet.Time {
+	return simnet.Time(time.Since(n.start).Microseconds())
+}
+
+// NextOccurrence issues the next occurrence index: the bumped Lamport
+// counter shifted over the node index.  Indices are unique across the
+// mesh and totally ordered consistently with causality, because every
+// frame carries the sender's counter and receivers fold it in before
+// delivery.
+func (n *Node) NextOccurrence() int64 {
+	return n.clock.Add(1)<<nodeBits | int64(n.cfg.NodeIndex)
+}
+
+// observeClock folds a received Lamport counter into the local one.
+func (n *Node) observeClock(c int64) {
+	for {
+		cur := n.clock.Load()
+		if c <= cur || n.clock.CompareAndSwap(cur, c) {
+			return
+		}
+	}
+}
+
+// Send delivers a payload to a site: directly into the inbox for
+// hosted sites, over the site's link otherwise.  It implements
+// actor.Net; remote payloads must be actor protocol messages.
+func (n *Node) Send(from, to simnet.SiteID, payload any) {
+	n.mu.Lock()
+	ib := n.sites[to]
+	n.mu.Unlock()
+	if ib != nil {
+		n.pend.Add(1)
+		ib.enqueue(payload)
+		return
+	}
+	addr, ok := n.peers[to]
+	if !ok {
+		panic(fmt.Sprintf("netwire: message to unknown site %q", to))
+	}
+	enc, err := actor.AppendPayload(nil, payload)
+	if err != nil {
+		panic(fmt.Sprintf("netwire: %v", err))
+	}
+	n.pend.Add(1)
+	n.link(addr).enqueue(from, to, enc)
+}
+
+// Pending returns the number of in-flight items this node accounts
+// for: queued or running local deliveries plus unacknowledged outbound
+// frames.
+func (n *Node) Pending() int64 { return n.pend.Pending() }
+
+// WaitIdle blocks until this node is idle (stable), or the timeout
+// elapses.  For a mesh, use WaitIdleAll — a node can be locally idle
+// while a peer still owes it traffic.
+func (n *Node) WaitIdle(timeout time.Duration) bool {
+	return n.pend.WaitIdle(timeout)
+}
+
+// WaitIdleAll waits until the sum of pending counts over all nodes is
+// stably zero.  With every node of the mesh passed in, that sum covers
+// each message from send to handler completion and acknowledgement, so
+// a stable zero is genuine distributed quiescence.
+func WaitIdleAll(timeout time.Duration, nodes ...*Node) bool {
+	return quiesce.WaitIdleFunc(timeout, func() int64 {
+		var sum int64
+		for _, n := range nodes {
+			sum += n.Pending()
+		}
+		return sum
+	})
+}
+
+// Stats reports delivery metrics: frames delivered to handlers and
+// duplicates suppressed by receiver-side dedup.
+func (n *Node) Stats() (delivered, deduped int64) {
+	return n.delivered.Load(), n.deduped.Load()
+}
+
+// Close shuts the node down: listener, accepted connections implied by
+// it, outbound links, and site goroutines.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	sites := make([]*inbox, 0, len(n.sites))
+	for _, ib := range n.sites {
+		sites = append(sites, ib)
+	}
+	n.mu.Unlock()
+
+	if n.lis != nil {
+		n.lis.Close()
+	}
+	for _, l := range links {
+		l.close()
+	}
+	for _, ib := range sites {
+		ib.close()
+	}
+}
+
+func (n *Node) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf("[netwire %s] "+format, append([]any{n.cfg.ID}, args...)...)
+	}
+}
+
+// link returns (creating if needed) the outbound link to a remote
+// address.
+func (n *Node) link(addr string) *link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.links[addr]
+	if !ok {
+		l = newLink(n, addr)
+		n.links[addr] = l
+		go l.run()
+	}
+	return l
+}
+
+// recvPeer returns the dedup state for a sending node, shared across
+// that node's reconnects.
+func (n *Node) recvPeer(id string) *recvPeer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rp, ok := n.recvs[id]
+	if !ok {
+		rp = &recvPeer{buffered: map[uint64]pendingFrame{}}
+		n.recvs[id] = rp
+	}
+	return rp
+}
+
+// inbox serializes one site's deliveries on a single goroutine,
+// exactly like internal/livenet.
+type inbox struct {
+	node    *Node
+	handler func(payload any)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []any
+	closed bool
+}
+
+func (ib *inbox) enqueue(payload any) {
+	ib.mu.Lock()
+	ib.queue = append(ib.queue, payload)
+	ib.mu.Unlock()
+	ib.cond.Signal()
+}
+
+func (ib *inbox) close() {
+	ib.mu.Lock()
+	ib.closed = true
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
+func (ib *inbox) loop() {
+	for {
+		ib.mu.Lock()
+		for len(ib.queue) == 0 && !ib.closed {
+			ib.cond.Wait()
+		}
+		if ib.closed {
+			// Drop the remainder; pending accounting still settles.
+			rest := len(ib.queue)
+			ib.queue = nil
+			ib.mu.Unlock()
+			for i := 0; i < rest; i++ {
+				ib.node.pend.Done()
+			}
+			return
+		}
+		payload := ib.queue[0]
+		ib.queue = ib.queue[1:]
+		ib.mu.Unlock()
+
+		ib.handler(payload)
+		ib.node.pend.Done()
+	}
+}
+
+// recvPeer is the receiving end of the reliable link from one sending
+// node: dedup plus in-order release.  Frames are delivered to handlers
+// strictly in sequence order — out-of-order arrivals are buffered
+// until the gap fills (retransmission guarantees it will) — so the
+// link presents FIFO, exactly-once semantics per sender, the channel
+// assumption the actor protocol is built on.  The watermark is the
+// cumulative acknowledgement: everything at or below it was delivered.
+type recvPeer struct {
+	mu        sync.Mutex
+	watermark uint64
+	buffered  map[uint64]pendingFrame
+}
+
+type pendingFrame struct {
+	to      simnet.SiteID
+	payload []byte
+}
+
+// admit folds one arrived frame in: it returns the frames now ready
+// for delivery (in sequence order; empty for duplicates and gaps), a
+// duplicate flag, and the cumulative acknowledgement.
+func (rp *recvPeer) admit(seq uint64, f pendingFrame) (ready []pendingFrame, dup bool, ack uint64) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if _, buffered := rp.buffered[seq]; seq == 0 || seq <= rp.watermark || buffered {
+		return nil, true, rp.watermark
+	}
+	rp.buffered[seq] = f
+	for {
+		next, ok := rp.buffered[rp.watermark+1]
+		if !ok {
+			break
+		}
+		delete(rp.buffered, rp.watermark+1)
+		rp.watermark++
+		ready = append(ready, next)
+	}
+	return ready, false, rp.watermark
+}
+
+// acceptLoop serves inbound connections.
+func (n *Node) acceptLoop() {
+	for {
+		conn, err := n.lis.Accept()
+		if err != nil {
+			return
+		}
+		go n.serveConn(conn)
+	}
+}
+
+// serveConn handles one inbound connection: a HELLO identifying the
+// sending node, then DATA frames, each acknowledged cumulatively on
+// the same connection.
+func (n *Node) serveConn(conn net.Conn) {
+	defer conn.Close()
+	cw := newConnWriter(conn, n.cfg.writeTimeout())
+	defer cw.shutdown()
+	var peer *recvPeer
+	var peerID string
+	for {
+		typ, body, err := readFrame(conn)
+		if err != nil {
+			if err != io.EOF && !n.isClosed() {
+				n.logf("inbound %s: %v", peerID, err)
+			}
+			return
+		}
+		switch typ {
+		case frameHello:
+			id, clock, err := parseHello(body)
+			if err != nil {
+				n.logf("bad hello: %v", err)
+				return
+			}
+			peerID = id
+			peer = n.recvPeer(id)
+			n.observeClock(clock)
+		case frameData:
+			if peer == nil {
+				n.logf("data before hello")
+				return
+			}
+			seq, clock, to, payload, err := parseData(body)
+			if err != nil {
+				n.logf("bad data from %s: %v", peerID, err)
+				return
+			}
+			n.observeClock(clock)
+			// The payload bytes alias the frame buffer, which is not
+			// reused, so buffering them in the peer is safe.
+			ready, dup, ack := peer.admit(seq, pendingFrame{to: to, payload: payload})
+			if dup {
+				n.deduped.Add(1)
+			}
+			for _, f := range ready {
+				msg, err := actor.DecodePayload(f.payload)
+				if err != nil {
+					n.logf("bad payload from %s: %v", peerID, err)
+					return
+				}
+				n.mu.Lock()
+				ib := n.sites[f.to]
+				n.mu.Unlock()
+				if ib == nil {
+					n.logf("frame for unhosted site %q", f.to)
+					continue
+				}
+				n.delivered.Add(1)
+				n.pend.Add(1)
+				ib.enqueue(msg)
+			}
+			// Acknowledge after the delivery is accounted for, so the
+			// sender's pending interval overlaps the receiver's.
+			if err := cw.write(appendAck(nil, ack)); err != nil {
+				return
+			}
+		default:
+			n.logf("unexpected inbound frame type %d from %s", typ, peerID)
+			return
+		}
+	}
+}
+
+// connWriter serializes frame writes on one connection with a bounded
+// deadline; it survives races between session teardown and delayed
+// (fault-injected) writes.
+type connWriter struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+	closed  bool
+}
+
+func newConnWriter(conn net.Conn, timeout time.Duration) *connWriter {
+	return &connWriter{conn: conn, timeout: timeout}
+}
+
+// write sends one complete frame (body already including version and
+// type) under the length prefix.
+func (w *connWriter) write(body []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return net.ErrClosed
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+	if _, err := w.conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.conn.Write(body)
+	return err
+}
+
+// shutdown marks the writer closed so late delayed writes become
+// no-ops instead of racing the connection teardown.
+func (w *connWriter) shutdown() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+}
+
+// readFrame reads one length-prefixed frame and returns its type and
+// body (excluding version and type bytes).
+func readFrame(conn net.Conn) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size < 2 || size > maxFrame {
+		return 0, nil, fmt.Errorf("netwire: frame size %d out of range", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return 0, nil, err
+	}
+	if body[0] != frameVersion {
+		return 0, nil, fmt.Errorf("netwire: frame version %d, want %d", body[0], frameVersion)
+	}
+	return body[1], body[2:], nil
+}
+
+func appendHello(dst []byte, id string, clock int64) []byte {
+	dst = append(dst, frameVersion, frameHello)
+	dst = binary.AppendUvarint(dst, uint64(len(id)))
+	dst = append(dst, id...)
+	dst = binary.AppendVarint(dst, clock)
+	return dst
+}
+
+func parseHello(body []byte) (string, int64, error) {
+	ln, n := binary.Uvarint(body)
+	if n <= 0 || ln > maxFrame || int(ln) > len(body)-n {
+		return "", 0, fmt.Errorf("bad hello id")
+	}
+	id := string(body[n : n+int(ln)])
+	clock, m := binary.Varint(body[n+int(ln):])
+	if m <= 0 {
+		return "", 0, fmt.Errorf("bad hello clock")
+	}
+	return id, clock, nil
+}
+
+func appendData(dst []byte, seq uint64, clock int64, from, to simnet.SiteID, payload []byte) []byte {
+	dst = append(dst, frameVersion, frameData)
+	dst = binary.AppendUvarint(dst, seq)
+	dst = binary.AppendVarint(dst, clock)
+	dst = binary.AppendUvarint(dst, uint64(len(from)))
+	dst = append(dst, from...)
+	dst = binary.AppendUvarint(dst, uint64(len(to)))
+	dst = append(dst, to...)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return dst
+}
+
+func parseData(body []byte) (seq uint64, clock int64, to simnet.SiteID, payload []byte, err error) {
+	pos := 0
+	seq, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, 0, "", nil, fmt.Errorf("bad seq")
+	}
+	pos += n
+	clock, n = binary.Varint(body[pos:])
+	if n <= 0 {
+		return 0, 0, "", nil, fmt.Errorf("bad clock")
+	}
+	pos += n
+	str := func() (string, error) {
+		ln, n := binary.Uvarint(body[pos:])
+		if n <= 0 || ln > maxFrame {
+			return "", fmt.Errorf("bad string length")
+		}
+		pos += n
+		if pos+int(ln) > len(body) {
+			return "", fmt.Errorf("truncated string")
+		}
+		s := string(body[pos : pos+int(ln)])
+		pos += int(ln)
+		return s, nil
+	}
+	if _, err = str(); err != nil { // from-site (diagnostic only)
+		return 0, 0, "", nil, err
+	}
+	var toStr string
+	if toStr, err = str(); err != nil {
+		return 0, 0, "", nil, err
+	}
+	pl, n := binary.Uvarint(body[pos:])
+	if n <= 0 || pl > maxFrame {
+		return 0, 0, "", nil, fmt.Errorf("bad payload length")
+	}
+	pos += n
+	if pos+int(pl) != len(body) {
+		return 0, 0, "", nil, fmt.Errorf("payload length mismatch")
+	}
+	return seq, clock, simnet.SiteID(toStr), body[pos:], nil
+}
+
+func appendAck(dst []byte, upTo uint64) []byte {
+	dst = append(dst, frameVersion, frameAck)
+	return binary.AppendUvarint(dst, upTo)
+}
+
+func parseAck(body []byte) (uint64, error) {
+	v, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, fmt.Errorf("bad ack")
+	}
+	return v, nil
+}
+
+// jitter returns d scaled by a uniform factor in [0.5, 1.5): desynced
+// reconnect storms.
+func jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}

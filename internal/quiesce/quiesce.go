@@ -1,0 +1,58 @@
+// Package quiesce tracks in-flight work so concurrent transports can
+// detect distributed quiescence: the moment when no message is queued,
+// being processed, or awaiting acknowledgement anywhere.
+//
+// Both internal/livenet (goroutine channels) and internal/netwire (TCP
+// links) need the same accounting — a message counts as pending from
+// the instant it is sent until its handler has returned (and, for the
+// wire transport, until the receiver's acknowledgement has pruned it
+// from the retransmission queue).  The sender's interval and the
+// receiver's interval overlap by construction, so the global pending
+// sum never reads zero while anything is still in flight.
+package quiesce
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Tracker counts pending work items.  The zero value is ready to use.
+type Tracker struct {
+	pending atomic.Int64
+}
+
+// Add records n new pending items.
+func (t *Tracker) Add(n int64) { t.pending.Add(n) }
+
+// Done records the completion of one pending item.
+func (t *Tracker) Done() { t.pending.Add(-1) }
+
+// Pending returns the current number of pending items.
+func (t *Tracker) Pending() int64 { return t.pending.Load() }
+
+// WaitIdle blocks until the tracker reads zero, stable across several
+// observations, or the timeout elapses.  It reports whether quiescence
+// was reached.  The stability requirement guards against the window
+// where one handler has finished but is about to send more messages.
+func (t *Tracker) WaitIdle(timeout time.Duration) bool {
+	return WaitIdleFunc(timeout, func() int64 { return t.pending.Load() })
+}
+
+// WaitIdleFunc is WaitIdle over an arbitrary pending-count observation
+// — for example the sum over every node of a multi-process mesh.
+func WaitIdleFunc(timeout time.Duration, pending func() int64) bool {
+	deadline := time.Now().Add(timeout)
+	stable := 0
+	for time.Now().Before(deadline) {
+		if pending() == 0 {
+			stable++
+			if stable >= 3 {
+				return true
+			}
+		} else {
+			stable = 0
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return pending() == 0
+}

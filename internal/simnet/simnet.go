@@ -42,6 +42,10 @@ type Message struct {
 	// Sent and Deliver are the send and delivery times.
 	Sent, Deliver Time
 	seq           uint64
+	// wireSeq is the per-link sequence number of fault-plan-managed
+	// frames; dedup applies, mirroring the wire transport's receiver.
+	wireSeq uint64
+	dedup   bool
 }
 
 // Handler consumes messages delivered to a site.
@@ -83,6 +87,10 @@ type Stats struct {
 	PerSite map[SiteID]int
 	// PeakQueue is the largest number of in-flight messages observed.
 	PeakQueue int
+	// Dropped, Duplicated, Deduped, Retransmits count fault-plan
+	// activity: frames lost on the wire, extra copies injected, copies
+	// suppressed by receiver-side dedup, and link-layer retries.
+	Dropped, Duplicated, Deduped, Retransmits int
 }
 
 // Network is the simulator.  Create with New, register sites, inject
@@ -97,9 +105,25 @@ type Network struct {
 	seq     uint64
 	// occurrences issues globally ordered occurrence indices.
 	occurrences int64
+	// fault, when set, subjects remote messages to the chaos schedule;
+	// the simulator then also models the reliable link layer (per-link
+	// sequence numbers, receiver dedup, scheduled retransmissions) so
+	// outcomes are preserved — exactly the contract netwire implements
+	// over real sockets.
+	fault    *FaultPlan
+	linkSeq  map[linkKey]uint64
+	faultDel map[linkKey]map[uint64]bool
+	// linkLast enforces per-link FIFO release: the reliable link
+	// buffers out-of-order frames, so no frame is handed to a handler
+	// before its predecessors on the same link (head-of-line blocking,
+	// as on a real TCP stream).
+	linkLast map[linkKey]Time
 	// trace optionally receives a line per delivery for debugging.
 	Trace func(m Message)
 }
+
+// linkKey identifies a directed site pair.
+type linkKey struct{ from, to SiteID }
 
 // New creates a network with the given latency model and deterministic
 // seed.
@@ -132,8 +156,23 @@ func (n *Network) NextOccurrence() int64 {
 	return n.occurrences
 }
 
+// SetFaultPlan installs a chaos schedule; nil restores the reliable
+// network.  Must be called before the run starts.
+func (n *Network) SetFaultPlan(fp *FaultPlan) {
+	n.fault = fp
+	if fp != nil && n.linkSeq == nil {
+		n.linkSeq = map[linkKey]uint64{}
+		n.faultDel = map[linkKey]map[uint64]bool{}
+		n.linkLast = map[linkKey]Time{}
+	}
+}
+
 // Send enqueues a message from one site to another; latency follows
-// the model (deterministic given the seed).
+// the model (deterministic given the seed).  Under a fault plan,
+// remote messages additionally pass through the modelled reliable
+// link: the chaos verdicts may drop, duplicate, delay, or reorder
+// individual transmission attempts, and the link retries dropped
+// frames with exponential backoff until one gets through.
 func (n *Network) Send(from, to SiteID, payload any) {
 	var lat Time
 	if from == to {
@@ -144,7 +183,50 @@ func (n *Network) Send(from, to SiteID, payload any) {
 			lat += Time(n.rng.Int63n(int64(n.latency.Jitter) + 1))
 		}
 	}
-	n.push(Message{From: from, To: to, Payload: payload, Sent: n.now, Deliver: n.now + lat})
+	if n.fault == nil || from == to {
+		n.push(Message{From: from, To: to, Payload: payload, Sent: n.now, Deliver: n.now + lat})
+		return
+	}
+	lk := linkKey{from, to}
+	n.linkSeq[lk]++
+	seq := n.linkSeq[lk]
+	deliver := func(at Time) {
+		// FIFO release: frames of one link reach the handler in
+		// sequence order, later-sent frames queueing behind delayed or
+		// retransmitted predecessors exactly as the wire transport's
+		// in-order receive buffer makes them.
+		if last := n.linkLast[lk]; at <= last {
+			at = last + 1
+		}
+		n.linkLast[lk] = at
+		n.push(Message{From: from, To: to, Payload: payload, Sent: n.now,
+			Deliver: at, wireSeq: seq, dedup: true})
+	}
+	t := n.now
+	for attempt := 0; ; attempt++ {
+		if heal, blocked := n.fault.Blocked(from, to, t); blocked {
+			// The frame sits in the link's outbound queue until the
+			// partition heals, then the next attempt goes out.
+			t = heal
+			n.stats.Retransmits++
+			continue
+		}
+		v := n.fault.VerdictFor(from, to, seq, attempt)
+		switch {
+		case v.Drop:
+			n.stats.Dropped++
+			n.stats.Retransmits++
+			t += n.fault.RTOFor(attempt)
+		case v.Dup:
+			n.stats.Duplicated++
+			deliver(t + lat)
+			deliver(t + lat + lat/2 + 1)
+			return
+		default:
+			deliver(t + lat + v.Extra)
+			return
+		}
+	}
 }
 
 // After schedules a timer: the payload is delivered to the site after
@@ -176,6 +258,22 @@ func (n *Network) Step() bool {
 	h, ok := n.sites[m.To]
 	if !ok {
 		panic(fmt.Sprintf("simnet: message to unknown site %q", m.To))
+	}
+	if m.dedup {
+		lk := linkKey{m.From, m.To}
+		seen := n.faultDel[lk]
+		if seen == nil {
+			seen = map[uint64]bool{}
+			n.faultDel[lk] = seen
+		}
+		if seen[m.wireSeq] {
+			// The receiver-side dedup of the reliable link: a duplicate
+			// copy of an already-delivered frame is acknowledged and
+			// discarded without reaching the handler.
+			n.stats.Deduped++
+			return true
+		}
+		seen[m.wireSeq] = true
 	}
 	n.stats.Messages++
 	if m.From != m.To {

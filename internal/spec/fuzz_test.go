@@ -1,0 +1,50 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse guarantees the .wf parser is total — no panics, no hangs —
+// on arbitrary input, and that anything it accepts round-trips: the
+// formatted output of a parsed spec must parse again to the same
+// formatted output (Format is the canonical form).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"# just a comment\n",
+		"workflow w\n",
+		"dep ~a + b\n",
+		"dep m: b . a + ~b\nevent a site=s1\nevent b site=s2\n",
+		"workflow t\ndep ~s_buy + s_book\nevent s_book site=book triggerable\n" +
+			"agent buy site=buy\n  step s_buy think=10\n  step c_buy think=40 onreject=~c_buy\n",
+		"event e site=s1 triggerable rejectable\n",
+		"agent a site=s\n  step x forced\n",
+		"dep a .. b\n",
+		"step orphan think=1\n",
+		"dep ~a + \xff\xfe\n",
+		"agent a site=s\n  step x think=99999999999999999999\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sp, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		formatted := sp.Format()
+		again, err := ParseString(formatted)
+		if err != nil {
+			t.Fatalf("formatted spec does not re-parse: %v\n%s", err, formatted)
+		}
+		if got := again.Format(); got != formatted {
+			t.Fatalf("format not canonical:\n first:\n%s\n second:\n%s", formatted, got)
+		}
+		// The parsed structure must be internally coherent enough to
+		// answer the questions the runners ask.
+		_ = sp.Placement()
+		_ = sp.Triggerable()
+		_ = strings.TrimSpace(formatted)
+	})
+}
