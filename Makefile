@@ -3,15 +3,16 @@
 #   make ci          build, vet, full test suite, race suite, bench smoke, fuzz smoke
 #   make test        full test suite only
 #   make race        race-detector suite over the concurrent packages
+#   make enginestress  256-instance engine stress under -race, uncached
 #   make benchsmoke  compile-and-run every benchmark once
 #   make fuzzsmoke   brief run of every fuzz target
 #   make bench       the P* cost benchmarks (informational)
 
 GO ?= go
 
-.PHONY: ci build vet test race bench benchsmoke fuzzsmoke
+.PHONY: ci build vet test race enginestress bench benchsmoke fuzzsmoke
 
-ci: build vet test race benchsmoke fuzzsmoke
+ci: build vet test race enginestress benchsmoke fuzzsmoke
 
 build:
 	$(GO) build ./...
@@ -30,7 +31,14 @@ test:
 # with their single-owner consumers (param), whose equivalence property
 # tests double as concurrency stress under -race.
 race:
-	$(GO) test -race ./internal/core ./internal/livenet ./internal/netwire ./internal/arun ./cmd/wfnet ./internal/actor ./internal/temporal ./internal/param
+	$(GO) test -race ./internal/core ./internal/livenet ./internal/netwire ./internal/arun ./internal/engine ./cmd/wfnet ./internal/actor ./internal/temporal ./internal/param
+
+# The multi-instance engine's 256-instance stress run, always uncached
+# and under the race detector: the worker pool, the shared plan, the
+# scratch recycling, and the instance demultiplexers all interleave
+# here with randomized per-instance jitter.
+enginestress:
+	$(GO) test -race -count=1 -run 'TestEngineStress256|TestEngineChaosNet' ./internal/engine
 
 # Every benchmark must still compile and survive one iteration; keeps
 # the perf harness from rotting between measurement sessions.

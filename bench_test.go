@@ -327,3 +327,12 @@ func BenchmarkP10Transports(b *testing.B) {
 		bench.P10()
 	}
 }
+
+// BenchmarkP11Engine: the multi-instance throughput experiment — the
+// serial baseline plus the engine's instance sweep on the simulator
+// and the shared TCP mesh (the P11 experiment).
+func BenchmarkP11Engine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.P11()
+	}
+}

@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	wfnet -local n [-timeout d] [-v] file.wf
+//	wfnet -local n [-timeout d] [-poll d] [-v] file.wf
 //	    Coordinator mode: forks n worker processes of this same binary,
 //	    partitions the spec's sites over them round-robin, and drives
 //	    the workflow from this process (the driver site "ctl").  Worker
 //	    addresses are exchanged over the workers' stdin/stdout, so no
-//	    ports need to be chosen up front.
+//	    ports need to be chosen up front.  The drive is pipelined: an
+//	    attempt completes as soon as its own decision reaches the
+//	    driver; cluster-wide quiescence (the PING/STAT protocol below)
+//	    is only consulted — at the -poll interval — for attempts that
+//	    park without a decision, and once at shutdown.
 //
 //	wfnet -serve -index i -sites s1,s2 [-id name] [-listen addr]
 //	      [-peers site=addr,...] [-v] file.wf
@@ -73,6 +77,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	listen := fs.String("listen", "127.0.0.1:0", "worker mode: TCP listen address")
 	peersFlag := fs.String("peers", "", "worker mode: static site=addr,... routing table (skips the PEERS handshake)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-attempt quiescence timeout")
+	poll := fs.Duration("poll", 5*time.Millisecond, "quiescence polling interval: the spacing of PING/STAT rounds and the pipelined decision-wait slice")
 	verbose := fs.Bool("v", false, "transport diagnostics on stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -107,7 +112,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			listen: *listen, peers: *peersFlag, logf: logf,
 		}, stdin, stdout, stderr)
 	case *local > 0:
-		return runLocal(sp, specPath, *local, *timeout, *verbose, logf, stdout, stderr)
+		return runLocal(sp, specPath, *local, *timeout, *poll, *verbose, logf, stdout, stderr)
 	default:
 		fmt.Fprintln(stderr, "wfnet: need -local n (coordinator) or -serve (worker)")
 		fs.Usage()
@@ -184,7 +189,9 @@ func runServe(sp *spec.Spec, cfg serveConfig, stdin io.Reader, stdout, stderr io
 			node.Start(peers)
 			fmt.Fprintln(stdout, "READY")
 		case "PING":
-			node.WaitIdle(2 * time.Second)
+			// Reply with instantaneous counters: the coordinator's
+			// two-stable-rounds rule provides the stability, and a prompt
+			// STAT keeps its quiescence probes cheap.
 			delivered, _ := node.Stats()
 			fmt.Fprintf(stdout, "STAT %d %d\n", node.Pending(), delivered)
 		default:
@@ -260,6 +267,10 @@ func (w *worker) stat() (pending, delivered int64, err error) {
 type cluster struct {
 	node    *netwire.Node
 	workers []*worker
+	// poll spaces the PING/STAT rounds of a quiescence wait, so parked
+	// pipelined attempts probe the cluster at a bounded rate instead of
+	// saturating the control pipes.
+	poll time.Duration
 }
 
 func (c *cluster) Send(from, to simnet.SiteID, payload any) { c.node.Send(from, to, payload) }
@@ -277,15 +288,15 @@ var _ arun.Transport = (*cluster)(nil)
 // can be in flight between two workers without touching the
 // coordinator — but pending counts cover each frame from send to
 // acknowledgement, so a stable all-zero round-pair is genuine global
-// quiescence.
+// quiescence.  Rounds read instantaneous counters (the coordinator's
+// own tracker included); the round-pair rule supplies the stability,
+// so an already-idle cluster confirms in three pipe round-trips — fast
+// enough for the short probes parked pipelined attempts issue.
 func (c *cluster) WaitIdle(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	stable := 0
 	var last []int64
-	for time.Now().Before(deadline) {
-		if !c.node.WaitIdle(time.Until(deadline)) {
-			return false
-		}
+	for {
 		cur := make([]int64, 0, len(c.workers)+1)
 		delivered, _ := c.node.Stats()
 		cur = append(cur, delivered)
@@ -308,8 +319,16 @@ func (c *cluster) WaitIdle(timeout time.Duration) bool {
 			stable = 0
 		}
 		last = cur
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		// A genuinely busy round waits out the polling interval; an
+		// idle-looking one (first round, or counters still settling)
+		// re-polls as fast as the pipes allow.
+		if !allIdle && c.poll > 0 {
+			time.Sleep(min(c.poll, time.Until(deadline)))
+		}
 	}
-	return false
 }
 
 func (c *cluster) Close() {
@@ -334,7 +353,7 @@ func slicesEqual(a, b []int64) bool {
 	return true
 }
 
-func runLocal(sp *spec.Spec, specPath string, n int, timeout time.Duration,
+func runLocal(sp *spec.Spec, specPath string, n int, timeout, poll time.Duration,
 	verbose bool, logf func(string, ...any), stdout, stderr io.Writer) int {
 	sites := arun.Sites(sp)
 	if len(sites) == 0 {
@@ -358,7 +377,7 @@ func runLocal(sp *spec.Spec, specPath string, n int, timeout time.Duration,
 		return 1
 	}
 
-	cl := &cluster{node: node}
+	cl := &cluster{node: node, poll: poll}
 	defer cl.Close()
 	peers := map[simnet.SiteID]string{arun.DefaultDriver: addr0}
 	for j := 0; j < n; j++ {
@@ -413,10 +432,15 @@ func runLocal(sp *spec.Spec, specPath string, n int, timeout time.Duration,
 		}
 	}
 
-	// Install the driver's observer before any worker can send.
+	// Install the driver's observer before any worker can send.  The
+	// drive is pipelined: each attempt completes on its own decision
+	// arriving at the driver, and the PING/STAT quiescence protocol is
+	// consulted only for parked attempts and the final settle.
 	r, err := arun.New(cl, sp, arun.Options{
-		Hosted:      func(s simnet.SiteID) bool { return s == arun.DefaultDriver },
-		IdleTimeout: timeout,
+		Hosted:       func(s simnet.SiteID) bool { return s == arun.DefaultDriver },
+		IdleTimeout:  timeout,
+		Pipelined:    true,
+		PollInterval: poll,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "wfnet:", err)

@@ -8,10 +8,16 @@
 //	live  in-process goroutine transport (internal/livenet)
 //	net   loopback TCP mesh, one node per site (internal/netwire)
 //
+// With -instances n (n > 1) the spec is executed as n concurrent
+// workflow instances through the multi-instance engine
+// (internal/engine): compiled once, driven in parallel, reported as
+// aggregate throughput.  Supported for the sim and net transports.
+//
 // Usage:
 //
 //	wfrun [-transport sim|live|net]
 //	      [-sched distributed|central-residuation|central-automata|all]
+//	      [-instances n] [-workers n]
 //	      [-seed n] [-trace] [file.wf]
 package main
 
@@ -23,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/arun"
+	"repro/internal/engine"
 	"repro/internal/netwire"
 	"repro/internal/sched"
 	"repro/internal/spec"
@@ -31,6 +38,8 @@ import (
 func main() {
 	transport := flag.String("transport", "sim", "transport: sim, live, or net")
 	kindFlag := flag.String("sched", "distributed", "scheduler kind, or 'all' to compare (sim transport only)")
+	instances := flag.Int("instances", 1, "concurrent workflow instances (>1 uses the multi-instance engine; sim or net)")
+	workers := flag.Int("workers", 0, "engine worker pool size (0 = engine default)")
 	seed := flag.Int64("seed", 1996, "simulation seed")
 	showDecisions := flag.Bool("trace", false, "print every decision")
 	flag.Parse()
@@ -44,17 +53,20 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, os.Stdout, *transport, *kindFlag, *seed, *showDecisions); err != nil {
+	if err := run(in, os.Stdout, *transport, *kindFlag, *instances, *workers, *seed, *showDecisions); err != nil {
 		fatal(err)
 	}
 }
 
 // run executes the spec read from in on the requested transport and
 // scheduler(s) and writes the report to out.
-func run(in io.Reader, out io.Writer, transport, kindFlag string, seed int64, showDecisions bool) error {
+func run(in io.Reader, out io.Writer, transport, kindFlag string, instances, workers int, seed int64, showDecisions bool) error {
 	s, err := spec.Parse(in)
 	if err != nil {
 		return err
+	}
+	if instances > 1 {
+		return runEngine(s, out, transport, instances, workers, seed)
 	}
 	switch transport {
 	case "", "sim":
@@ -64,6 +76,40 @@ func run(in io.Reader, out io.Writer, transport, kindFlag string, seed int64, sh
 	default:
 		return fmt.Errorf("unknown transport %q (want sim, live, or net)", transport)
 	}
+}
+
+// runEngine executes many concurrent instances through the
+// multi-instance engine and reports aggregate throughput.
+func runEngine(s *spec.Spec, out io.Writer, transport string, instances, workers int, seed int64) error {
+	var mode engine.Mode
+	switch transport {
+	case "", "sim":
+		mode = engine.ModeSim
+	case "net":
+		mode = engine.ModeNet
+	default:
+		return fmt.Errorf("-instances > 1 needs the sim or net transport, not %q", transport)
+	}
+	res, err := engine.Run(s, engine.Options{
+		Instances: instances, Workers: workers, Mode: mode, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "== engine over %s (%d instances, %d workers) ==\n",
+		transport, res.Instances, res.Workers)
+	for fp, n := range res.Fingerprints {
+		fmt.Fprintf(out, "%4d× %s\n", n, fp)
+	}
+	fmt.Fprintf(out, "elapsed:   %v   instances/s: %.0f   announcements/s: %.0f\n",
+		res.Elapsed.Round(time.Microsecond), res.InstancesPerSec(), res.FiresPerSec())
+	fmt.Fprintf(out, "observed:  %d announcements, %d decisions\n", res.Fires, res.Decisions)
+	if mode == engine.ModeNet && res.Batches > 0 {
+		fmt.Fprintf(out, "batching:  %d frames in %d batch frames (%.1f per batch)\n",
+			res.BatchedFrames, res.Batches, float64(res.BatchedFrames)/float64(res.Batches))
+	}
+	fmt.Fprintln(out)
+	return nil
 }
 
 // runSim executes on the deterministic simulator through the

@@ -14,7 +14,7 @@ func TestRunAllSchedulers(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer
-		if err := run(f, &out, "sim", "all", 1996, true); err != nil {
+		if err := run(f, &out, "sim", "all", 1, 0, 1996, true); err != nil {
 			t.Fatalf("%s: %v", file, err)
 		}
 		f.Close()
@@ -45,7 +45,7 @@ func TestRunAsyncTransports(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer
-		err = run(f, &out, transport, "distributed", 1, false)
+		err = run(f, &out, transport, "distributed", 1, 0, 1, false)
 		f.Close()
 		if err != nil {
 			t.Fatalf("%s: %v", transport, err)
@@ -63,15 +63,46 @@ func TestRunAsyncTransports(t *testing.T) {
 	}
 }
 
+// TestRunEngineInstances exercises the multi-instance engine through
+// the CLI path on both supported transports.
+func TestRunEngineInstances(t *testing.T) {
+	for _, transport := range []string{"sim", "net"} {
+		f, err := os.Open("../../testdata/travel.wf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		err = run(f, &out, transport, "distributed", 16, 4, 1996, false)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", transport, err)
+		}
+		text := out.String()
+		if !strings.Contains(text, "== engine over "+transport+" (16 instances") {
+			t.Errorf("%s: missing engine header:\n%s", transport, text)
+		}
+		if !strings.Contains(text, "satisfied=true") {
+			t.Errorf("%s: instances not satisfied:\n%s", transport, text)
+		}
+		if !strings.Contains(text, "instances/s") {
+			t.Errorf("%s: missing throughput line:\n%s", transport, text)
+		}
+	}
+	var out bytes.Buffer
+	if err := run(strings.NewReader("dep ~a + b"), &out, "live", "distributed", 2, 0, 1, false); err == nil {
+		t.Fatal("-instances over the live transport must error")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("nonsense"), &out, "sim", "distributed", 1, false); err == nil {
+	if err := run(strings.NewReader("nonsense"), &out, "sim", "distributed", 1, 0, 1, false); err == nil {
 		t.Fatal("bad spec must error")
 	}
-	if err := run(strings.NewReader("dep ~a + b"), &out, "sim", "warp", 1, false); err == nil {
+	if err := run(strings.NewReader("dep ~a + b"), &out, "sim", "warp", 1, 0, 1, false); err == nil {
 		t.Fatal("unknown scheduler must error")
 	}
-	if err := run(strings.NewReader("dep ~a + b"), &out, "carrier-pigeon", "distributed", 1, false); err == nil {
+	if err := run(strings.NewReader("dep ~a + b"), &out, "carrier-pigeon", "distributed", 1, 0, 1, false); err == nil {
 		t.Fatal("unknown transport must error")
 	}
 }

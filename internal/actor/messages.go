@@ -115,6 +115,16 @@ type DecisionMsg struct {
 	Reason string
 }
 
+// Instanced wraps a protocol message with the instance number of a
+// multi-instance engine run, so hundreds of concurrent instances of
+// one workflow can share a single mesh of sites: the receiving node
+// demultiplexes on Inst and hands Msg to that instance's actors.
+// Instanced envelopes do not nest.
+type Instanced struct {
+	Inst uint32
+	Msg  any
+}
+
 func (m AttemptMsg) String() string  { return fmt.Sprintf("attempt(%s)", m.Sym) }
 func (m AnnounceMsg) String() string { return fmt.Sprintf("announce(%s@%d)", m.Sym, m.At) }
 func (m InquireMsg) String() string {
@@ -130,3 +140,4 @@ func (m ReleaseMsg) String() string {
 func (m DecisionMsg) String() string {
 	return fmt.Sprintf("decision(%s accepted=%v)", m.Sym, m.Accepted)
 }
+func (m Instanced) String() string { return fmt.Sprintf("inst(%d: %v)", m.Inst, m.Msg) }

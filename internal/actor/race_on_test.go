@@ -1,0 +1,8 @@
+//go:build race
+
+package actor
+
+// raceEnabled reports whether the race detector instruments this
+// build; its shadow-memory hooks allocate inside sync.Pool, which
+// breaks allocation-count assertions.
+const raceEnabled = true

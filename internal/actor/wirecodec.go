@@ -3,6 +3,7 @@ package actor
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/simnet"
@@ -35,6 +36,7 @@ const (
 	kindNudge
 	kindRelease
 	kindDecision
+	kindInstanced
 )
 
 // Decoder hardening bounds: real protocol messages are tiny, so any
@@ -96,6 +98,13 @@ func AppendPayload(dst []byte, payload any) ([]byte, error) {
 		dst = binary.AppendVarint(dst, int64(m.AttemptedAt))
 		dst = binary.AppendVarint(dst, int64(m.DecidedAt))
 		dst = appendString(dst, m.Reason)
+	case Instanced:
+		if _, nested := m.Msg.(Instanced); nested {
+			return nil, fmt.Errorf("actor: instanced envelopes do not nest")
+		}
+		dst = append(dst, kindInstanced)
+		dst = binary.AppendUvarint(dst, uint64(m.Inst))
+		return AppendPayload(dst, m.Msg)
 	default:
 		return nil, fmt.Errorf("actor: cannot encode payload %T", payload)
 	}
@@ -132,6 +141,25 @@ func DecodePayload(data []byte) (any, error) {
 		out = DecisionMsg{Sym: r.sym(), Accepted: r.bool(), At: r.varint(),
 			AttemptedAt: simnet.Time(r.varint()), DecidedAt: simnet.Time(r.varint()),
 			Reason: r.string()}
+	case kindInstanced:
+		inst := r.uvarint()
+		if r.err == nil && inst > 1<<32-1 {
+			r.fail("instance number %d exceeds limit", inst)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		// The nested payload is a complete encoding (version byte
+		// included).  The encoder refuses nested envelopes, so reject
+		// them here too — recursion depth stays at exactly two.
+		inner, err := DecodePayload(r.buf[r.pos:])
+		if err != nil {
+			return nil, err
+		}
+		if _, nested := inner.(Instanced); nested {
+			return nil, fmt.Errorf("actor: instanced envelopes do not nest")
+		}
+		return Instanced{Inst: uint32(inst), Msg: inner}, nil
 	default:
 		if r.err == nil {
 			r.err = fmt.Errorf("actor: unknown wire kind %d", kind)
@@ -144,6 +172,35 @@ func DecodePayload(data []byte) (any, error) {
 		return nil, fmt.Errorf("actor: %d trailing bytes after payload", len(r.buf)-r.pos)
 	}
 	return out, nil
+}
+
+// encodeBufPool recycles encode buffers across Send calls: protocol
+// messages are tiny (tens of bytes), so a pooled 256-byte slice makes
+// the steady-state encode path allocation-free — BenchmarkAppendPayload
+// and TestEncodeZeroAlloc lock this in.
+var encodeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
+// GetEncodeBuf borrows an empty encode buffer from the pool.  Pass the
+// pointer back to PutEncodeBuf when the encoded bytes are no longer
+// referenced (for the wire transport: once the frame is acknowledged).
+func GetEncodeBuf() *[]byte {
+	return encodeBufPool.Get().(*[]byte)
+}
+
+// PutEncodeBuf returns a buffer to the pool.
+func PutEncodeBuf(b *[]byte) {
+	if b == nil || cap(*b) > 1<<16 {
+		// Oversized buffers (a pathological payload) are dropped rather
+		// than pinned in the pool.
+		return
+	}
+	*b = (*b)[:0]
+	encodeBufPool.Put(b)
 }
 
 func appendBool(dst []byte, v bool) []byte {

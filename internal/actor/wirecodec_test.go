@@ -30,6 +30,24 @@ func samplePayloads() []any {
 		ReleaseMsg{Target: p, Requester: e},
 		DecisionMsg{Sym: e, Accepted: true, At: 9, AttemptedAt: 100, DecidedAt: 250},
 		DecisionMsg{Sym: f, Reason: "guard reduced to 0"},
+		Instanced{Inst: 0, Msg: AttemptMsg{Sym: e}},
+		Instanced{Inst: 1<<32 - 1, Msg: AnnounceMsg{Sym: p, At: 77}},
+	}
+}
+
+func TestWireCodecRejectsNestedInstanced(t *testing.T) {
+	inner := Instanced{Inst: 1, Msg: NudgeMsg{Sym: algebra.Sym("e")}}
+	if _, err := AppendPayload(nil, Instanced{Inst: 2, Msg: inner}); err == nil {
+		t.Fatal("encoding a nested instanced envelope must error")
+	}
+	// Hand-crafted nested bytes must be rejected by the decoder too.
+	enc, err := AppendPayload(nil, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested := append([]byte{WireVersion, kindInstanced, 2}, enc...)
+	if _, err := DecodePayload(nested); err == nil {
+		t.Fatal("decoding a nested instanced envelope must error")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Term is a parameter of an event symbol: either a variable (unbound)
@@ -92,10 +93,32 @@ func (s Symbol) Equal(o Symbol) bool { return s.Key() == o.Key() }
 // (equal up to polarity).
 func (s Symbol) SameEvent(o Symbol) bool { return s.Base().Key() == o.Base().Key() }
 
+// barKeys interns "~name" strings for unparametrized complements, so
+// the hot Key path below never allocates.  Keys are requested on every
+// message delivery, map lookup, and symbol comparison, which makes
+// this the single most-called function in a run; the table only ever
+// holds one entry per distinct event name.
+var barKeys sync.Map // string → string
+
 // Key returns the canonical text form of the symbol, used for
 // ordering, map keys, and printing: "~name[p1,p2]" for a complemented
 // parametrized symbol.
 func (s Symbol) Key() string {
+	if len(s.Params) == 0 {
+		// Classic unparametrized events — the entire alphabet of the
+		// paper's core calculus — take an allocation-free path: the
+		// positive key is the name itself and the complement key is
+		// interned once per event name.
+		if !s.Bar {
+			return s.Name
+		}
+		if k, ok := barKeys.Load(s.Name); ok {
+			return k.(string)
+		}
+		k := "~" + s.Name
+		barKeys.Store(s.Name, k)
+		return k
+	}
 	var b strings.Builder
 	if s.Bar {
 		b.WriteByte('~')

@@ -28,10 +28,10 @@ import (
 	"repro/internal/actor"
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/quiesce"
 	"repro/internal/sched"
 	"repro/internal/simnet"
 	"repro/internal/spec"
-	"repro/internal/temporal"
 )
 
 // DefaultDriver is the site the runner itself occupies: attempts
@@ -62,6 +62,11 @@ type Options struct {
 	IdleTimeout time.Duration
 	// Compiled reuses a pre-compiled workflow (optional).
 	Compiled *core.Compiled
+	// Pipelined completes each attempt on its own decision instead of
+	// global quiescence (see RunnerOptions.Pipelined).
+	Pipelined bool
+	// PollInterval is the pipelined decision-wait slice (default 200µs).
+	PollInterval time.Duration
 }
 
 // Outcome is the comparable result of a run.
@@ -94,22 +99,26 @@ func (o *Outcome) Fingerprint() string {
 		strings.Join(keys, ","), strings.Join(o.Unresolved, ","), o.Satisfied)
 }
 
-// Runner hosts a compiled spec on a transport and drives it.
+// Runner hosts one run of a plan on a transport and drives it.
 type Runner struct {
-	tr      Transport
-	sp      *spec.Spec
-	c       *core.Compiled
-	dir     *actor.Directory
-	bases   []algebra.Symbol // workflow alphabet, sorted
-	extras  []algebra.Symbol // agent-attempted symbols outside it
-	driver  simnet.SiteID
-	timeout time.Duration
+	tr        Transport
+	plan      *Plan
+	driver    simnet.SiteID
+	timeout   time.Duration
+	pipelined bool
+	poll      time.Duration
+	satCache  *SatCache
 
-	mu   sync.Mutex
-	occ  map[string]occRec
-	dec  map[string]actor.DecisionMsg
-	anns int
-	decs int
+	mu sync.Mutex
+	occ map[string]occRec
+	dec map[string]actor.DecisionMsg
+	// decGen counts decision arrivals per symbol key; pipelined
+	// attempts snapshot it before submitting and complete when it
+	// moves, which is what "per-attempt completion" means.
+	decGen  map[string]uint64
+	decGate quiesce.Gate
+	anns    int
+	decs    int
 }
 
 type occRec struct {
@@ -171,113 +180,21 @@ func alphabetAndExtras(sp *spec.Spec) (bases, extras []algebra.Symbol) {
 }
 
 // New compiles (unless pre-compiled), installs the hosted actors on
-// the transport, and registers the driver.  The directory — placement
-// and subscriptions — is computed identically in every process
-// regardless of the Hosted filter, so cross-process routing agrees.
+// the transport, and registers the driver as observer.  The directory
+// — placement and subscriptions — is computed identically in every
+// process regardless of the Hosted filter, so cross-process routing
+// agrees.  New builds a fresh Plan per call; callers running the same
+// spec repeatedly should build the Plan once and use NewRunner (as
+// internal/engine does).
 func New(tr Transport, sp *spec.Spec, opt Options) (*Runner, error) {
-	driver := opt.Driver
-	if driver == "" {
-		driver = DefaultDriver
+	p, err := NewPlan(sp, PlanOptions{Driver: opt.Driver, Observe: true, Compiled: opt.Compiled})
+	if err != nil {
+		return nil, err
 	}
-	timeout := opt.IdleTimeout
-	if timeout <= 0 {
-		timeout = 10 * time.Second
-	}
-	c := opt.Compiled
-	if c == nil {
-		var err error
-		if c, err = core.Compile(sp.Workflow); err != nil {
-			return nil, err
-		}
-	}
-	hosted := opt.Hosted
-	if hosted == nil {
-		hosted = func(simnet.SiteID) bool { return true }
-	}
-
-	r := &Runner{
-		tr: tr, sp: sp, c: c, dir: actor.NewDirectory(),
-		driver: driver, timeout: timeout,
-		occ: map[string]occRec{}, dec: map[string]actor.DecisionMsg{},
-	}
-	r.bases, r.extras = alphabetAndExtras(sp)
-	pl := sp.Placement()
-	all := append(append([]algebra.Symbol{}, r.bases...), r.extras...)
-	for _, b := range all {
-		site := pl.SiteFor(b)
-		if site == driver {
-			return nil, fmt.Errorf("arun: event %s placed on the driver site %q", b, driver)
-		}
-		r.dir.Place(b, site)
-		// The driver observes every occurrence: resolution state and
-		// outcome traces are driven off these announcements, which is
-		// what makes the runner work across process boundaries.
-		r.dir.Subscribe(b, driver)
-	}
-	for _, b := range r.bases {
-		site := pl.SiteFor(b)
-		for _, polKey := range []string{b.Key(), b.Complement().Key()} {
-			if eg := c.Guards[polKey]; eg != nil {
-				for _, w := range eg.Watches {
-					r.dir.Subscribe(w, site)
-				}
-			}
-		}
-	}
-
-	hosts := map[simnet.SiteID]*siteHost{}
-	host := func(site simnet.SiteID) *siteHost {
-		h, ok := hosts[site]
-		if !ok {
-			h = &siteHost{site: site, actors: map[string]*actor.Actor{}}
-			hosts[site] = h
-		}
-		return h
-	}
-	for _, b := range r.bases {
-		site := pl.SiteFor(b)
-		if !hosted(site) {
-			continue
-		}
-		host(site).add(actor.New(b, site, r.dir, nil,
-			guardSpecFor(c, b), guardSpecFor(c, b.Complement())))
-	}
-	for _, x := range r.extras {
-		site := pl.SiteFor(x)
-		if !hosted(site) {
-			continue
-		}
-		host(site).add(actor.New(x, site, r.dir, nil,
-			actor.GuardSpec{Guard: temporal.TrueF()},
-			actor.GuardSpec{Guard: temporal.TrueF()}))
-	}
-	for _, key := range sp.Triggerable() {
-		s, err := algebra.ParseSymbol(key)
-		if err != nil {
-			return nil, fmt.Errorf("arun: triggerable %q: %w", key, err)
-		}
-		if h, ok := hosts[pl.SiteFor(s)]; ok {
-			a, ok := h.actors[s.Base().Key()]
-			if !ok {
-				return nil, fmt.Errorf("arun: triggerable %q has no actor", key)
-			}
-			a.SetTriggerable(s)
-		}
-	}
-
-	sites := make([]simnet.SiteID, 0, len(hosts))
-	for site := range hosts {
-		sites = append(sites, site)
-	}
-	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
-	for _, site := range sites {
-		h := hosts[site]
-		tr.Register(site, h.deliver)
-	}
-	if hosted(driver) {
-		tr.Register(driver, r.onDriverMsg)
-	}
-	return r, nil
+	return p.NewRunner(tr, RunnerOptions{
+		Hosted: opt.Hosted, IdleTimeout: opt.IdleTimeout,
+		Pipelined: opt.Pipelined, PollInterval: opt.PollInterval,
+	})
 }
 
 // guardSpecFor assembles a polarity's guard spec (with the consensus
@@ -348,8 +265,8 @@ func (h *siteHost) deliver(n actor.Net, p any) {
 // driver site.  It runs on a transport goroutine, concurrently with
 // the drive loop.
 func (r *Runner) onDriverMsg(_ actor.Net, p any) {
+	pulse := false
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	switch m := p.(type) {
 	case actor.AnnounceMsg:
 		r.anns++
@@ -359,9 +276,38 @@ func (r *Runner) onDriverMsg(_ actor.Net, p any) {
 	case actor.DecisionMsg:
 		r.decs++
 		r.dec[m.Sym.Key()] = m
+		r.decGen[m.Sym.Key()]++
+		pulse = true
 	}
 	// Anything else addressed to the driver is protocol chatter the
 	// runner does not participate in; drop it.
+	r.mu.Unlock()
+	if pulse {
+		r.decGate.Pulse()
+	}
+}
+
+// hookFire observes an occurrence through the actor hook — the
+// observation mode plans built without Observe use, sparing the
+// driver-bound announcement traffic entirely.
+func (r *Runner) hookFire(sym algebra.Symbol, at int64, _ simnet.Time) {
+	r.mu.Lock()
+	r.anns++
+	if _, seen := r.occ[sym.Key()]; !seen {
+		r.occ[sym.Key()] = occRec{sym: sym, at: at}
+	}
+	r.mu.Unlock()
+}
+
+// hookDecision observes a decision through the actor hook.
+func (r *Runner) hookDecision(d actor.DecisionMsg) {
+	key := d.Sym.Key()
+	r.mu.Lock()
+	r.decs++
+	r.dec[key] = d
+	r.decGen[key]++
+	r.mu.Unlock()
+	r.decGate.Pulse()
 }
 
 func (r *Runner) takeDecision(key string) (actor.DecisionMsg, bool) {
@@ -382,17 +328,78 @@ func (r *Runner) resolved(b algebra.Symbol) bool {
 	return pos || neg
 }
 
-// attempt submits one attempt from the driver and quiesces.
+// attempt submits one attempt from the driver.  In the default mode
+// it then quiesces the whole transport — the serial, lockstep drive.
+// In pipelined mode it only waits for this attempt's own decision
+// (or for the transport to park), which is what lets many attempts —
+// and, in internal/engine, many instances — overlap.
 func (r *Runner) attempt(sym algebra.Symbol, forced bool) error {
-	site, err := r.dir.SiteOf(sym)
+	site, err := r.plan.siteFor(sym)
 	if err != nil {
 		return err
 	}
-	r.tr.Send(r.driver, site, actor.AttemptMsg{Sym: sym, Forced: forced, ReplyTo: r.driver})
-	if !r.tr.WaitIdle(r.timeout) {
-		return fmt.Errorf("arun: transport did not quiesce after attempting %s", sym)
+	var replyTo simnet.SiteID
+	if r.plan.observe {
+		replyTo = r.driver
 	}
-	return nil
+	msg := actor.AttemptMsg{Sym: sym, Forced: forced, ReplyTo: replyTo}
+	if !r.pipelined {
+		r.tr.Send(r.driver, site, msg)
+		if !r.tr.WaitIdle(r.timeout) {
+			return fmt.Errorf("arun: transport did not quiesce after attempting %s", sym)
+		}
+		return nil
+	}
+	key := sym.Key()
+	r.mu.Lock()
+	start := r.decGen[key]
+	r.mu.Unlock()
+	r.tr.Send(r.driver, site, msg)
+	return r.awaitAttempt(sym, key, start)
+}
+
+// awaitAttempt blocks until the attempt's decision count moves past
+// the pre-send snapshot, the transport parks with the attempt still
+// undecided (held behind an inquiry — the drive loop moves on and a
+// later decision folds in), or the deadline passes.
+func (r *Runner) awaitAttempt(sym algebra.Symbol, key string, start uint64) error {
+	moved := func() bool {
+		r.mu.Lock()
+		m := r.decGen[key] != start
+		r.mu.Unlock()
+		return m
+	}
+	deadline := time.Now().Add(r.timeout)
+	for {
+		if moved() {
+			return nil
+		}
+		// Take the gate channel first, then re-check: a pulse between
+		// the check and the wait closes the channel we already hold, so
+		// no wakeup is lost.
+		ch := r.decGate.Chan()
+		if moved() {
+			return nil
+		}
+		select {
+		case <-ch:
+			continue
+		case <-time.After(r.poll):
+		}
+		if moved() {
+			return nil
+		}
+		// No decision within the poll slice: probe for a parked
+		// transport.  A single short WaitIdle is enough — if it reports
+		// idle and the decision still has not arrived, the attempt is
+		// held (promise outstanding) and the drive loop should move on.
+		if r.tr.WaitIdle(r.poll) && !moved() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("arun: no decision for %s before timeout", sym)
+		}
+	}
 }
 
 // agState is one agent script mid-drive.
@@ -406,9 +413,9 @@ type agState struct {
 // Run drives the agents to completion (or stall), closes the run out
 // to a maximal trace, and returns the outcome.
 func (r *Runner) Run() (*Outcome, error) {
-	agents := make([]*agState, 0, len(r.sp.Agents))
+	agents := make([]*agState, 0, len(r.plan.sp.Agents))
 	budget := 64
-	for _, ag := range r.sp.Agents {
+	for _, ag := range r.plan.sp.Agents {
 		agents = append(agents, &agState{id: ag.ID, queue: append([]sched.Step(nil), ag.Steps...)})
 		budget += 8 * len(ag.Steps)
 	}
@@ -480,14 +487,30 @@ func (r *Runner) Run() (*Outcome, error) {
 	// complements of unresolved events first ("this will never occur"),
 	// then — where the complement is refused, i.e. the event is
 	// obligated — the events themselves.  Mirrors sched.runCloseout.
+	allResolved := func() bool {
+		for _, b := range r.plan.bases {
+			if !r.resolved(b) {
+				return false
+			}
+		}
+		return true
+	}
+	agentsDone := func() bool {
+		for _, ag := range agents {
+			if ag.waiting != "" || len(ag.queue) > 0 {
+				return false
+			}
+		}
+		return true
+	}
 	triedComp := map[string]bool{}
 	triedPos := map[string]bool{}
-	for pass := 0; pass < 2*len(r.bases)+2; pass++ {
+	for pass := 0; pass < 2*len(r.plan.bases)+4; pass++ {
 		progress, err := driveAgents()
 		if err != nil {
 			return nil, err
 		}
-		for _, b := range r.bases {
+		for _, b := range r.plan.bases {
 			if r.resolved(b) {
 				continue
 			}
@@ -506,26 +529,33 @@ func (r *Runner) Run() (*Outcome, error) {
 				progress = true
 			}
 		}
-		allResolved := true
-		for _, b := range r.bases {
-			if !r.resolved(b) {
-				allResolved = false
-				break
+		if (allResolved() && agentsDone()) || !progress {
+			if r.pipelined {
+				// A pipelined drive can appear stalled or done while
+				// decisions and announcements are still in flight: settle
+				// with one full quiescence, and resume if anything new
+				// folds in or the resolution picture changed.
+				r.tr.WaitIdle(r.timeout)
+				if fold() {
+					continue
+				}
+				if !(allResolved() && agentsDone()) && progress {
+					continue
+				}
 			}
-		}
-		agentsDone := true
-		for _, ag := range agents {
-			if ag.waiting != "" || len(ag.queue) > 0 {
-				agentsDone = false
-				break
-			}
-		}
-		if (allResolved && agentsDone) || !progress {
 			break
 		}
 	}
 	if _, err := driveAgents(); err != nil {
 		return nil, err
+	}
+	if r.pipelined {
+		// The closing quiescence: per-attempt completion never proved
+		// the mesh empty, so establish it once before reading the
+		// outcome.
+		if !r.tr.WaitIdle(r.timeout) {
+			return nil, fmt.Errorf("arun: transport did not quiesce at end of run")
+		}
 	}
 	return r.outcome(), nil
 }
@@ -550,8 +580,12 @@ func (r *Runner) outcome() *Outcome {
 		out.Trace = append(out.Trace, rec.sym.Key())
 		trace = append(trace, rec.sym)
 	}
-	out.Satisfied = core.SatisfiesAll(r.sp.Workflow, trace)
-	for _, b := range r.bases {
+	if r.satCache != nil {
+		out.Satisfied = r.satCache.satisfied(r.plan.sp.Workflow, trace, out.Trace)
+	} else {
+		out.Satisfied = core.SatisfiesAll(r.plan.sp.Workflow, trace)
+	}
+	for _, b := range r.plan.bases {
 		_, pos := r.occ[b.Key()]
 		_, neg := r.occ[b.Complement().Key()]
 		if !pos && !neg {

@@ -25,7 +25,15 @@ type SimTransport struct {
 // the reliable link layer — retransmissions and receiver dedup — in
 // virtual time.
 func NewSimTransport(seed int64, fp *simnet.FaultPlan) *SimTransport {
-	n := simnet.New(simnet.DefaultLatency(), seed)
+	return NewSimTransportLat(simnet.DefaultLatency(), seed, fp)
+}
+
+// NewSimTransportLat is NewSimTransport with an explicit latency
+// model.  internal/engine runs its per-instance simulators with tiny
+// flat latencies (throughput mode) or widened jitter (interleaving
+// stress) through this.
+func NewSimTransportLat(lat simnet.LatencyModel, seed int64, fp *simnet.FaultPlan) *SimTransport {
+	n := simnet.New(lat, seed)
 	n.SetFaultPlan(fp)
 	return &SimTransport{Net: n, maxSteps: 1_000_000}
 }

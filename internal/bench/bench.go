@@ -99,6 +99,7 @@ func All() []Experiment {
 		{"P8", P8, "parallel vs sequential guard synthesis (worker pool)"},
 		{"P9", P9, "ablation: incremental vs from-scratch parametrized evaluation"},
 		{"P10", P10, "transport comparison: simnet vs livenet vs netwire"},
+		{"P11", P11, "multi-instance engine throughput vs serial quiescence"},
 	}
 }
 

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/arun"
+	"repro/internal/engine"
+	"repro/internal/spec"
+)
+
+// p11Dense generates a dependency-dense fan-in workflow: event i
+// requires every earlier event j < i, so guard synthesis and residual
+// evaluation dominate the per-run cost.  One serial run pays the full
+// compile and evaluates every guard with cold memoization tables; the
+// engine compiles once and shares the satisfaction cache across all
+// instances, which is exactly the amortization P11 measures.
+func p11Dense(n, sites int) *spec.Spec {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workflow dense%d\n", n)
+	for i := 2; i <= n; i++ {
+		for j := 1; j < i; j++ {
+			fmt.Fprintf(&b, "dep ~e%d + e%d . e%d\n", i, j, i)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "event e%d site=s%d\n", i, (i-1)%sites+1)
+	}
+	fmt.Fprintf(&b, "agent w site=s1\n")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "  step e%d think=5\n", i)
+	}
+	sp, err := spec.ParseString(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// P11 measures multi-instance throughput: N concurrent instances of
+// one workflow through the engine (compiled once, per-instance
+// completion) against N serial single-instance runs (fresh compile and
+// a global-quiescence wait each).  The sim rows sweep the instance
+// count; the net row drives the shared loopback TCP mesh with
+// instance-tagged, batch-coalesced frames.  Announcements per wall
+// second is the headline figure — the work both modes must do
+// identically, per the engine's differential test suite.
+func P11() *Table {
+	t := &Table{
+		ID:    "P11",
+		Title: "multi-instance engine: per-instance completion vs serial quiescence",
+		Header: []string{"workload", "mode", "instances", "wall ms",
+			"inst/s", "ann/s", "×serial"},
+	}
+
+	travel, err := spec.ParseString(p10Travel)
+	if err != nil {
+		panic(err)
+	}
+	workloads := []struct {
+		name string
+		sp   *spec.Spec
+	}{
+		{"travel", travel},
+		{"dense12", p11Dense(12, 4)},
+	}
+
+	const serialRuns = 100
+	for _, w := range workloads {
+		// Serial baseline: what the repository could do before the
+		// engine — one arun.New per run (full compile), one run at a
+		// time, outcome settled by global quiescence.
+		start := time.Now()
+		anns := 0
+		for i := 0; i < serialRuns; i++ {
+			r, err := arun.New(arun.NewSimTransport(1996+int64(i), nil), w.sp,
+				arun.Options{IdleTimeout: 30 * time.Second})
+			if err != nil {
+				panic(err)
+			}
+			out, err := r.Run()
+			if err != nil {
+				panic(err)
+			}
+			anns += out.Announcements
+		}
+		serial := time.Since(start)
+		serialAnnSec := float64(anns) / serial.Seconds()
+		t.Rows = append(t.Rows, []string{
+			w.name, "serial-sim", fmt.Sprint(serialRuns),
+			fmt.Sprintf("%.1f", serial.Seconds()*1e3),
+			fmt.Sprintf("%.0f", float64(serialRuns)/serial.Seconds()),
+			fmt.Sprintf("%.0f", serialAnnSec),
+			"1.0",
+		})
+
+		for _, n := range []int{1, 10, 100, 1000} {
+			res, err := engine.Run(w.sp, engine.Options{Instances: n, Seed: 1996})
+			if err != nil {
+				panic(err)
+			}
+			t.Rows = append(t.Rows, engineRow(w.name, "engine-sim", res, serialAnnSec))
+		}
+
+		res, err := engine.Run(w.sp, engine.Options{
+			Instances: 100, Mode: engine.ModeNet, Seed: 1996,
+			IdleTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			panic(err)
+		}
+		t.Rows = append(t.Rows, engineRow(w.name, "engine-net", res, serialAnnSec))
+		if res.Batches > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"%s engine-net: %d DATA records coalesced into %d batch frames (%.1f per frame)",
+				w.name, res.BatchedFrames, res.Batches,
+				float64(res.BatchedFrames)/float64(res.Batches)))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"serial-sim pays compile + a global-quiescence settle per run; the engine compiles once,",
+		"shares the satisfaction cache, and completes each instance the moment its own events resolve",
+		fmt.Sprintf("serial baseline = %d back-to-back single-instance simulator runs", serialRuns))
+	return t
+}
+
+// engineRow formats one engine result against the serial baseline.
+func engineRow(workload, mode string, res *engine.Result, serialAnnSec float64) []string {
+	return []string{
+		workload, mode, fmt.Sprint(res.Instances),
+		fmt.Sprintf("%.1f", res.Elapsed.Seconds()*1e3),
+		fmt.Sprintf("%.0f", res.InstancesPerSec()),
+		fmt.Sprintf("%.0f", res.FiresPerSec()),
+		fmt.Sprintf("%.1f", res.FiresPerSec()/serialAnnSec),
+	}
+}

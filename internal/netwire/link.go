@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/actor"
 	"repro/internal/simnet"
 )
 
@@ -20,6 +21,11 @@ type link struct {
 	frames  []*outFrame // unacked, ascending seq
 	nextSeq uint64
 	acked   uint64 // cumulative ack received
+	// spent holds the pooled encode buffers of pruned frames.  Only
+	// the session goroutine returns them to the pool — and only after
+	// it has finished transmitting its current slice — because an ack
+	// can prune a frame the session is concurrently reading.
+	spent []*[]byte
 
 	wake   chan struct{} // capacity 1: new frame or ack progress
 	closed chan struct{}
@@ -30,8 +36,9 @@ type link struct {
 type outFrame struct {
 	seq      uint64
 	from, to simnet.SiteID
-	payload  []byte // actor wire encoding
-	attempts int    // transmissions tried (session goroutine only)
+	payload  []byte  // actor wire encoding
+	pbuf     *[]byte // pooled buffer backing payload, nil if unpooled
+	attempts int     // transmissions tried (session goroutine only)
 }
 
 func newLink(n *Node, addr string) *link {
@@ -46,10 +53,10 @@ func newLink(n *Node, addr string) *link {
 // enqueue appends a frame to the unacked queue and wakes the sender.
 // The caller has already counted it in the node's pending tracker; the
 // count is released when the acknowledgement prunes the frame.
-func (l *link) enqueue(from, to simnet.SiteID, payload []byte) {
+func (l *link) enqueue(from, to simnet.SiteID, payload []byte, pbuf *[]byte) {
 	l.mu.Lock()
 	l.nextSeq++
-	l.frames = append(l.frames, &outFrame{seq: l.nextSeq, from: from, to: to, payload: payload})
+	l.frames = append(l.frames, &outFrame{seq: l.nextSeq, from: from, to: to, payload: payload, pbuf: pbuf})
 	l.mu.Unlock()
 	l.signal()
 }
@@ -75,7 +82,14 @@ func (l *link) ack(upTo uint64) {
 	l.mu.Lock()
 	pruned := 0
 	for len(l.frames) > 0 && l.frames[0].seq <= upTo {
+		f := l.frames[0]
 		l.frames = l.frames[1:]
+		if f.pbuf != nil {
+			// Hand the encode buffer to the session goroutine for
+			// pooling; it may still be reading the payload right now.
+			l.spent = append(l.spent, f.pbuf)
+			f.pbuf = nil
+		}
 		pruned++
 	}
 	if upTo > l.acked {
@@ -188,10 +202,36 @@ func (l *link) session(conn net.Conn) {
 		unacked := len(l.frames)
 		l.mu.Unlock()
 
-		for _, f := range toSend {
-			if err := l.transmit(cw, f); err != nil {
+		// Coalesce whatever accumulated on the link into batch frames
+		// (flush-on-idle: a lone frame goes out as plain DATA at once,
+		// a burst is grouped up to the size thresholds).
+		for len(toSend) > 0 {
+			take, size := 1, len(toSend[0].payload)
+			for take < len(toSend) && take < maxBatchFrames && size < maxBatchBytes {
+				size += len(toSend[take].payload)
+				take++
+			}
+			var err error
+			if take == 1 {
+				err = l.transmit(cw, toSend[0])
+			} else {
+				err = l.transmitBatch(cw, toSend[:take])
+			}
+			if err != nil {
 				return
 			}
+			toSend = toSend[take:]
+		}
+
+		// Recycle encode buffers of frames acked since the last pass.
+		// This runs strictly after the transmit loop above released its
+		// last payload reference, which is what makes pooling safe.
+		l.mu.Lock()
+		spent := l.spent
+		l.spent = nil
+		l.mu.Unlock()
+		for _, bp := range spent {
+			actor.PutEncodeBuf(bp)
 		}
 
 		if unacked == 0 {
@@ -244,6 +284,62 @@ func (l *link) transmit(cw *connWriter, f *outFrame) error {
 		return nil
 	}
 	data := appendData(nil, f.seq, l.node.clock.Load(), f.from, f.to, f.payload)
+	if v.Extra > 0 {
+		d := time.Duration(v.Extra) * time.Microsecond
+		time.AfterFunc(d, func() {
+			cw.write(data) // late writes on a closed session are no-ops
+		})
+		return nil
+	}
+	if err := cw.write(data); err != nil {
+		return err
+	}
+	if v.Dup {
+		return cw.write(data)
+	}
+	return nil
+}
+
+// transmitBatch writes several frames as one batch frame.  The fault
+// plan strikes the batch as a unit — one BatchVerdict draw, keyed by
+// the link, the first sequence number, and that frame's attempt count
+// — so chaos tests exercise whole-batch drop, duplication, and delay.
+// Partition-blocked frames are withheld individually first (their
+// retransmission recovers them); receiver-side buffering bridges the
+// sequence gaps they leave.
+func (l *link) transmitBatch(cw *connWriter, frames []*outFrame) error {
+	fp := l.node.cfg.Fault
+	if fp != nil {
+		now := l.node.Now()
+		kept := frames[:0]
+		for _, f := range frames {
+			if _, blocked := fp.Blocked(f.from, f.to, now); !blocked {
+				kept = append(kept, f)
+			}
+		}
+		frames = kept
+	}
+	switch len(frames) {
+	case 0:
+		return nil
+	case 1:
+		return l.transmit(cw, frames[0])
+	}
+	first := frames[0]
+	attempt := first.attempts
+	for _, f := range frames {
+		f.attempts++
+	}
+	l.node.batches.Add(1)
+	l.node.batchedFrames.Add(int64(len(frames)))
+	if fp == nil {
+		return cw.write(appendBatch(nil, l.node.clock.Load(), frames))
+	}
+	v := fp.BatchVerdict(first.from, first.to, first.seq, attempt)
+	if v.Drop {
+		return nil
+	}
+	data := appendBatch(nil, l.node.clock.Load(), frames)
 	if v.Extra > 0 {
 		d := time.Duration(v.Extra) * time.Microsecond
 		time.AfterFunc(d, func() {

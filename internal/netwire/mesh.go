@@ -101,6 +101,21 @@ func (m *Mesh) Stats() (delivered, deduped int64) {
 	return delivered, deduped
 }
 
+// BatchStats sums outbound coalescing metrics over all nodes.
+func (m *Mesh) BatchStats() (batches, frames int64) {
+	for _, n := range m.nodes {
+		b, f := n.BatchStats()
+		batches += b
+		frames += f
+	}
+	return batches, frames
+}
+
+// Node returns the node hosting a site (nil if the site is unknown).
+// internal/engine registers its per-instance demultiplexers directly
+// on the nodes through this.
+func (m *Mesh) Node(site simnet.SiteID) *Node { return m.nodes[site] }
+
 // Close shuts down every node.
 func (m *Mesh) Close() {
 	for _, n := range m.nodes {

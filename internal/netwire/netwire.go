@@ -57,10 +57,25 @@ const (
 	frameHello byte = 1
 	frameData  byte = 2
 	frameAck   byte = 3
+	// frameBatch coalesces several DATA records into one wire frame:
+	// the announcement fan-out of a pipelined run writes many tiny
+	// frames per link back-to-back, and batching them collapses the
+	// per-frame syscall and ack traffic.  A batch is faulted as a unit
+	// (FaultPlan.BatchVerdict); sub-frames keep their own sequence
+	// numbers, so receiver dedup and in-order release are untouched by
+	// how frames happen to be grouped.
+	frameBatch byte = 4
 
 	// maxFrame bounds a frame body; anything larger is a protocol
 	// violation and kills the connection.
 	maxFrame = 1 << 20
+
+	// maxBatchFrames / maxBatchBytes bound one batch: the flush
+	// threshold of the coalescing loop.  Whatever has accumulated on
+	// the link when the session goroutine wakes is flushed immediately
+	// (batching never waits), so these only cap the burst case.
+	maxBatchFrames = 64
+	maxBatchBytes  = 256 << 10
 
 	// nodeBits is the width of the node-index field inside occurrence
 	// indices: at = lamport<<nodeBits | index.
@@ -133,6 +148,10 @@ type Node struct {
 	// the P10 experiment).
 	delivered atomic.Int64
 	deduped   atomic.Int64
+	// batches / batchedFrames count outbound coalescing: batch frames
+	// written and the logical DATA records they carried.
+	batches       atomic.Int64
+	batchedFrames atomic.Int64
 }
 
 // NewNode creates an unstarted node.
@@ -238,12 +257,18 @@ func (n *Node) Send(from, to simnet.SiteID, payload any) {
 	if !ok {
 		panic(fmt.Sprintf("netwire: message to unknown site %q", to))
 	}
-	enc, err := actor.AppendPayload(nil, payload)
+	// Encode into a pooled buffer; the link returns it to the pool once
+	// the frame is acknowledged and pruned, making the steady-state
+	// encode path allocation-free.
+	bp := actor.GetEncodeBuf()
+	enc, err := actor.AppendPayload((*bp)[:0], payload)
 	if err != nil {
+		actor.PutEncodeBuf(bp)
 		panic(fmt.Sprintf("netwire: %v", err))
 	}
+	*bp = enc
 	n.pend.Add(1)
-	n.link(addr).enqueue(from, to, enc)
+	n.link(addr).enqueue(from, to, enc, bp)
 }
 
 // Pending returns the number of in-flight items this node accounts
@@ -276,6 +301,13 @@ func WaitIdleAll(timeout time.Duration, nodes ...*Node) bool {
 // duplicates suppressed by receiver-side dedup.
 func (n *Node) Stats() (delivered, deduped int64) {
 	return n.delivered.Load(), n.deduped.Load()
+}
+
+// BatchStats reports outbound coalescing: batch frames written and the
+// logical DATA records they carried.  frames/batches is the achieved
+// coalescing factor.
+func (n *Node) BatchStats() (batches, frames int64) {
+	return n.batches.Load(), n.batchedFrames.Load()
 }
 
 // Close shuts the node down: listener, accepted connections implied by
@@ -481,7 +513,10 @@ func (n *Node) serveConn(conn net.Conn) {
 				n.logf("data before hello")
 				return
 			}
-			seq, clock, to, payload, err := parseData(body)
+			seq, clock, to, payload, rest, err := parseDataRecord(body)
+			if err == nil && len(rest) != 0 {
+				err = fmt.Errorf("%d trailing bytes", len(rest))
+			}
 			if err != nil {
 				n.logf("bad data from %s: %v", peerID, err)
 				return
@@ -493,25 +528,49 @@ func (n *Node) serveConn(conn net.Conn) {
 			if dup {
 				n.deduped.Add(1)
 			}
-			for _, f := range ready {
-				msg, err := actor.DecodePayload(f.payload)
-				if err != nil {
-					n.logf("bad payload from %s: %v", peerID, err)
-					return
-				}
-				n.mu.Lock()
-				ib := n.sites[f.to]
-				n.mu.Unlock()
-				if ib == nil {
-					n.logf("frame for unhosted site %q", f.to)
-					continue
-				}
-				n.delivered.Add(1)
-				n.pend.Add(1)
-				ib.enqueue(msg)
+			if !n.deliverReady(peerID, ready) {
+				return
 			}
 			// Acknowledge after the delivery is accounted for, so the
 			// sender's pending interval overlaps the receiver's.
+			if err := cw.write(appendAck(nil, ack)); err != nil {
+				return
+			}
+		case frameBatch:
+			if peer == nil {
+				n.logf("batch before hello")
+				return
+			}
+			count, used := binary.Uvarint(body)
+			if used <= 0 || count == 0 || count > maxBatchFrames {
+				n.logf("bad batch count from %s", peerID)
+				return
+			}
+			rest := body[used:]
+			var ack uint64
+			for i := 0; i < int(count); i++ {
+				seq, clock, to, payload, r, err := parseDataRecord(rest)
+				if err != nil {
+					n.logf("bad batch record from %s: %v", peerID, err)
+					return
+				}
+				rest = r
+				n.observeClock(clock)
+				ready, dup, a := peer.admit(seq, pendingFrame{to: to, payload: payload})
+				if dup {
+					n.deduped.Add(1)
+				}
+				ack = a
+				if !n.deliverReady(peerID, ready) {
+					return
+				}
+			}
+			if len(rest) != 0 {
+				n.logf("bad batch from %s: %d trailing bytes", peerID, len(rest))
+				return
+			}
+			// One cumulative acknowledgement covers the whole batch:
+			// coalescing saves ack frames as well as data frames.
 			if err := cw.write(appendAck(nil, ack)); err != nil {
 				return
 			}
@@ -520,6 +579,30 @@ func (n *Node) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// deliverReady decodes and enqueues frames released in order by the
+// receive peer.  It reports false on a protocol violation (the caller
+// kills the connection).
+func (n *Node) deliverReady(peerID string, ready []pendingFrame) bool {
+	for _, f := range ready {
+		msg, err := actor.DecodePayload(f.payload)
+		if err != nil {
+			n.logf("bad payload from %s: %v", peerID, err)
+			return false
+		}
+		n.mu.Lock()
+		ib := n.sites[f.to]
+		n.mu.Unlock()
+		if ib == nil {
+			n.logf("frame for unhosted site %q", f.to)
+			continue
+		}
+		n.delivered.Add(1)
+		n.pend.Add(1)
+		ib.enqueue(msg)
+	}
+	return true
 }
 
 // connWriter serializes frame writes on one connection with a bounded
@@ -606,6 +689,12 @@ func parseHello(body []byte) (string, int64, error) {
 
 func appendData(dst []byte, seq uint64, clock int64, from, to simnet.SiteID, payload []byte) []byte {
 	dst = append(dst, frameVersion, frameData)
+	return appendDataRecord(dst, seq, clock, from, to, payload)
+}
+
+// appendDataRecord appends one self-delimiting DATA record — the body
+// shared by frameData (one record) and frameBatch (several).
+func appendDataRecord(dst []byte, seq uint64, clock int64, from, to simnet.SiteID, payload []byte) []byte {
 	dst = binary.AppendUvarint(dst, seq)
 	dst = binary.AppendVarint(dst, clock)
 	dst = binary.AppendUvarint(dst, uint64(len(from)))
@@ -617,16 +706,30 @@ func appendData(dst []byte, seq uint64, clock int64, from, to simnet.SiteID, pay
 	return dst
 }
 
-func parseData(body []byte) (seq uint64, clock int64, to simnet.SiteID, payload []byte, err error) {
+// appendBatch builds one batch frame from several queued frames, all
+// stamped with the same (current) Lamport clock.
+func appendBatch(dst []byte, clock int64, frames []*outFrame) []byte {
+	dst = append(dst, frameVersion, frameBatch)
+	dst = binary.AppendUvarint(dst, uint64(len(frames)))
+	for _, f := range frames {
+		dst = appendDataRecord(dst, f.seq, clock, f.from, f.to, f.payload)
+	}
+	return dst
+}
+
+// parseDataRecord parses one DATA record and returns the unconsumed
+// remainder, letting the batch receive loop walk a frame of
+// concatenated records.
+func parseDataRecord(body []byte) (seq uint64, clock int64, to simnet.SiteID, payload []byte, rest []byte, err error) {
 	pos := 0
 	seq, n := binary.Uvarint(body)
 	if n <= 0 {
-		return 0, 0, "", nil, fmt.Errorf("bad seq")
+		return 0, 0, "", nil, nil, fmt.Errorf("bad seq")
 	}
 	pos += n
 	clock, n = binary.Varint(body[pos:])
 	if n <= 0 {
-		return 0, 0, "", nil, fmt.Errorf("bad clock")
+		return 0, 0, "", nil, nil, fmt.Errorf("bad clock")
 	}
 	pos += n
 	str := func() (string, error) {
@@ -643,21 +746,21 @@ func parseData(body []byte) (seq uint64, clock int64, to simnet.SiteID, payload 
 		return s, nil
 	}
 	if _, err = str(); err != nil { // from-site (diagnostic only)
-		return 0, 0, "", nil, err
+		return 0, 0, "", nil, nil, err
 	}
 	var toStr string
 	if toStr, err = str(); err != nil {
-		return 0, 0, "", nil, err
+		return 0, 0, "", nil, nil, err
 	}
 	pl, n := binary.Uvarint(body[pos:])
 	if n <= 0 || pl > maxFrame {
-		return 0, 0, "", nil, fmt.Errorf("bad payload length")
+		return 0, 0, "", nil, nil, fmt.Errorf("bad payload length")
 	}
 	pos += n
-	if pos+int(pl) != len(body) {
-		return 0, 0, "", nil, fmt.Errorf("payload length mismatch")
+	if pos+int(pl) > len(body) {
+		return 0, 0, "", nil, nil, fmt.Errorf("payload length mismatch")
 	}
-	return seq, clock, simnet.SiteID(toStr), body[pos:], nil
+	return seq, clock, simnet.SiteID(toStr), body[pos : pos+int(pl)], body[pos+int(pl):], nil
 }
 
 func appendAck(dst []byte, upTo uint64) []byte {

@@ -12,8 +12,17 @@
 package quiesce
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
+)
+
+// DefaultPoll is the observation interval WaitIdle uses between
+// pending-count reads; DefaultStability is how many consecutive zero
+// observations count as idle.
+const (
+	DefaultPoll      = time.Millisecond
+	DefaultStability = 3
 )
 
 // Tracker counts pending work items.  The zero value is ready to use.
@@ -38,21 +47,77 @@ func (t *Tracker) WaitIdle(timeout time.Duration) bool {
 	return WaitIdleFunc(timeout, func() int64 { return t.pending.Load() })
 }
 
+// WaitIdleEvery is WaitIdle with an explicit observation interval, for
+// callers whose latency budget is tighter (or looser) than the
+// default polling cadence.
+func (t *Tracker) WaitIdleEvery(timeout, poll time.Duration) bool {
+	return WaitIdleFuncEvery(timeout, poll, DefaultStability, func() int64 { return t.pending.Load() })
+}
+
 // WaitIdleFunc is WaitIdle over an arbitrary pending-count observation
 // — for example the sum over every node of a multi-process mesh.
 func WaitIdleFunc(timeout time.Duration, pending func() int64) bool {
+	return WaitIdleFuncEvery(timeout, DefaultPoll, DefaultStability, pending)
+}
+
+// WaitIdleFuncEvery polls the pending count every poll interval until
+// it has read zero for stability consecutive observations, or the
+// timeout elapses.  stability < 1 is treated as 1 — a single zero
+// observation, which is sound whenever the pending accounting has the
+// overlap property described in the package comment, and is what the
+// per-instance completion waits of internal/engine use.
+func WaitIdleFuncEvery(timeout, poll time.Duration, stability int, pending func() int64) bool {
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	if stability < 1 {
+		stability = 1
+	}
 	deadline := time.Now().Add(timeout)
 	stable := 0
 	for time.Now().Before(deadline) {
 		if pending() == 0 {
 			stable++
-			if stable >= 3 {
+			if stable >= stability {
 				return true
 			}
 		} else {
 			stable = 0
 		}
-		time.Sleep(time.Millisecond)
+		time.Sleep(poll)
 	}
 	return pending() == 0
+}
+
+// Gate is a reusable broadcast signal: waiters take the current
+// channel with Chan and block on it; Pulse closes that channel
+// (waking everyone) and installs a fresh one.  It lets a waiter sleep
+// until "something changed" — a decision arrived, a pending count hit
+// zero — instead of polling, which is what makes per-instance
+// completion cheap enough to replace global quiescence on the hot
+// path.  The zero value is ready to use.
+type Gate struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+// Chan returns the channel the next Pulse will close.
+func (g *Gate) Chan() <-chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ch == nil {
+		g.ch = make(chan struct{})
+	}
+	return g.ch
+}
+
+// Pulse wakes every goroutine blocked on a previously returned
+// channel.
+func (g *Gate) Pulse() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ch != nil {
+		close(g.ch)
+	}
+	g.ch = make(chan struct{})
 }

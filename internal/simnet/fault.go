@@ -115,6 +115,28 @@ func (fp *FaultPlan) VerdictFor(from, to SiteID, seq uint64, attempt int) Verdic
 		return Verdict{}
 	}
 	p, raw := fp.hash(from, to, seq, attempt, 'v')
+	return fp.verdict(p, raw)
+}
+
+// BatchVerdict decides the fate of one transmission attempt of a
+// coalesced batch frame: the whole batch is dropped, duplicated, or
+// delayed as a unit, which is how faults strike a transport that
+// writes many logical frames per TCP write.  The draw is keyed by the
+// link, the first sequence number the batch carries, and the attempt
+// count — deterministic like VerdictFor, but salted separately so the
+// batch stream and the per-frame stream are independent.  Retries see
+// fresh verdicts, so a batch always gets through eventually.
+func (fp *FaultPlan) BatchVerdict(from, to SiteID, firstSeq uint64, attempt int) Verdict {
+	if fp == nil || attempt >= maxFaultAttempts {
+		return Verdict{}
+	}
+	p, raw := fp.hash(from, to, firstSeq, attempt, 'b')
+	return fp.verdict(p, raw)
+}
+
+// verdict maps a uniform draw onto the plan's disjoint probability
+// masses.
+func (fp *FaultPlan) verdict(p float64, raw uint64) Verdict {
 	switch {
 	case p < fp.Drop:
 		return Verdict{Drop: true}

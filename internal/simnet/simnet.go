@@ -22,7 +22,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -96,10 +95,14 @@ type Stats struct {
 // Network is the simulator.  Create with New, register sites, inject
 // initial messages or timers, then Run.
 type Network struct {
-	now     Time
-	queue   eventQueue
-	sites   map[SiteID]Handler
+	now   Time
+	queue eventQueue
+	sites map[SiteID]Handler
+	// rng is built lazily from seed: most networks (every engine
+	// instance, every zero-jitter model) never draw a random number,
+	// and seeding a rand.Rand costs more than a short simulation.
 	rng     *rand.Rand
+	seed    int64
 	latency LatencyModel
 	stats   Stats
 	seq     uint64
@@ -130,10 +133,18 @@ type linkKey struct{ from, to SiteID }
 func New(lat LatencyModel, seed int64) *Network {
 	return &Network{
 		sites:   make(map[SiteID]Handler),
-		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
 		latency: lat,
 		stats:   Stats{PerSite: make(map[SiteID]int)},
 	}
+}
+
+// rand returns the seeded generator, constructing it on first use.
+func (n *Network) rand() *rand.Rand {
+	if n.rng == nil {
+		n.rng = rand.New(rand.NewSource(n.seed))
+	}
+	return n.rng
 }
 
 // AddSite registers a site.  Registering the same id twice panics: it
@@ -180,7 +191,7 @@ func (n *Network) Send(from, to SiteID, payload any) {
 	} else {
 		lat = n.latency.Remote
 		if n.latency.Jitter > 0 {
-			lat += Time(n.rng.Int63n(int64(n.latency.Jitter) + 1))
+			lat += Time(n.rand().Int63n(int64(n.latency.Jitter) + 1))
 		}
 	}
 	if n.fault == nil || from == to {
@@ -238,7 +249,7 @@ func (n *Network) After(site SiteID, delay Time, payload any) {
 func (n *Network) push(m Message) {
 	m.seq = n.seq
 	n.seq++
-	heap.Push(&n.queue, m)
+	n.queue.push(m)
 	if len(n.queue) > n.stats.PeakQueue {
 		n.stats.PeakQueue = len(n.queue)
 	}
@@ -250,7 +261,7 @@ func (n *Network) Step() bool {
 	if len(n.queue) == 0 {
 		return false
 	}
-	m := heap.Pop(&n.queue).(Message)
+	m := n.queue.pop()
 	if m.Deliver < n.now {
 		panic("simnet: time went backwards")
 	}
@@ -324,22 +335,58 @@ func (n *Network) Sites() []SiteID {
 func (n *Network) Idle() bool { return len(n.queue) == 0 }
 
 // eventQueue is a min-heap ordered by (Deliver, seq); the sequence
-// number makes delivery deterministic for simultaneous messages.
+// number makes delivery deterministic for simultaneous messages.  The
+// sift operations are hand-rolled rather than going through
+// container/heap, which would box every Message into an interface on
+// each push and pop — this queue sits under every simulated message of
+// every engine instance.  Pop order is the unique (Deliver, seq) total
+// order, so determinism does not depend on the heap's internal shape.
 type eventQueue []Message
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].Deliver != q[j].Deliver {
 		return q[i].Deliver < q[j].Deliver
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(Message)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	m := old[n-1]
-	*q = old[:n-1]
-	return m
+
+func (q *eventQueue) push(m Message) {
+	*q = append(*q, m)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() Message {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = Message{} // release payload references
+	h = h[:last]
+	*q = h
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < len(h) && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < len(h) && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
 }
