@@ -1,8 +1,9 @@
 # Pre-merge gate: everything here must pass before a change lands.
 #
-#   make ci          build, vet, full test suite, race suite, bench smoke, fuzz smoke
+#   make ci          build, vet, full test suite, race suite, trace checks, bench smoke, fuzz smoke
 #   make test        full test suite only
 #   make race        race-detector suite over the concurrent packages
+#   make tracecheck  golden-replay determinism + trace invariants over the chaos suite
 #   make enginestress  256-instance engine stress under -race, uncached
 #   make benchsmoke  compile-and-run every benchmark once
 #   make fuzzsmoke   brief run of every fuzz target
@@ -10,9 +11,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race enginestress bench benchsmoke fuzzsmoke
+.PHONY: ci build vet test race enginestress tracecheck bench benchsmoke fuzzsmoke
 
-ci: build vet test race enginestress benchsmoke fuzzsmoke
+ci: build vet test race enginestress tracecheck benchsmoke fuzzsmoke
 
 build:
 	$(GO) build ./...
@@ -31,7 +32,7 @@ test:
 # with their single-owner consumers (param), whose equivalence property
 # tests double as concurrency stress under -race.
 race:
-	$(GO) test -race ./internal/core ./internal/livenet ./internal/netwire ./internal/arun ./internal/engine ./cmd/wfnet ./internal/actor ./internal/temporal ./internal/param
+	$(GO) test -race ./internal/core ./internal/livenet ./internal/netwire ./internal/arun ./internal/engine ./cmd/wfnet ./internal/actor ./internal/temporal ./internal/param ./internal/obs/...
 
 # The multi-instance engine's 256-instance stress run, always uncached
 # and under the race detector: the worker pool, the shared plan, the
@@ -39,6 +40,15 @@ race:
 # here with randomized per-instance jitter.
 enginestress:
 	$(GO) test -race -count=1 -run 'TestEngineStress256|TestEngineChaosNet' ./internal/engine
+
+# The observability gates, always uncached: bytewise golden replay of
+# the traced simulator runs, and the trace-invariant checker over the
+# five-workflow differential chaos suite (every captured trace must
+# satisfy causality, single terminal verdicts, and monotone Lamport
+# stamps even under injected faults).
+tracecheck:
+	$(GO) test -count=1 -run 'TestGoldenReplay' ./internal/sched
+	$(GO) test -count=1 -run 'TestDifferentialChaos' ./internal/netwire
 
 # Every benchmark must still compile and survive one iteration; keeps
 # the perf harness from rotting between measurement sessions.

@@ -9,6 +9,7 @@
 //	wfbench -list          # list experiments
 //	wfbench -j 4 -exp P1   # bound the guard-synthesis worker pool
 //	wfbench -exp P4 -cpuprofile cpu.out -memprofile mem.out
+//	wfbench -exp E9 -trace out.jsonl   # capture the decision trace
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,6 +33,7 @@ func run() int {
 	par := flag.Int("j", 0, "guard synthesis parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the experiment run to `file`")
+	traceOut := flag.String("trace", "", "capture the decision trace of the run to a JSONL `file` (analyze with wftrace)")
 	flag.Parse()
 	bench.Parallelism = *par
 
@@ -67,8 +70,21 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *traceOut != "" {
+		obs.Shared().Reset()
+		obs.Shared().Enable(true)
+	}
+
 	for _, e := range selected {
 		fmt.Println(e.Run().Format())
+	}
+
+	if *traceOut != "" {
+		obs.Shared().Disable()
+		if err := writeTrace(*traceOut, obs.Shared().Records()); err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: %v\n", err)
+			return 1
+		}
 	}
 
 	if *memprofile != "" {
@@ -85,4 +101,18 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// writeTrace sorts a capture into causal order and writes it as JSONL.
+func writeTrace(path string, recs []obs.Record) error {
+	obs.SortCausal(recs)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSONL(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

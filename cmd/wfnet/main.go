@@ -31,6 +31,11 @@
 //	coordinator → worker:  PING
 //	worker → coordinator:  STAT <pending> <delivered>
 //
+// Every node (coordinator and workers) also answers plain HTTP on its
+// data port — the transport sniffs the first inbound byte to tell the
+// two protocols apart — serving /debug/metrics (the obs registry
+// snapshot as JSON) and the standard /debug/pprof/ endpoints.
+//
 // EOF on the worker's stdin shuts it down.  The PING/STAT exchange is
 // how the coordinator establishes cluster-wide quiescence between
 // attempts: a round is quiescent when every process reports zero
@@ -43,6 +48,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/exec"
 	"sort"
@@ -53,6 +60,7 @@ import (
 	"repro/internal/actor"
 	"repro/internal/arun"
 	"repro/internal/netwire"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/spec"
 )
@@ -64,6 +72,20 @@ func main() {
 // serveEnv marks a forked process as a worker so a test binary can
 // divert to run() instead of running the test suite.
 const serveEnv = "WFNET_SERVE"
+
+// debugMux builds the HTTP handler every wfnet node shares its data
+// port with (netwire sniffs the first inbound byte to tell HTTP from
+// frames): the obs metrics snapshot plus the standard pprof surface.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", obs.MetricsHandler(obs.Default))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 // run is the testable entry point; it returns the process exit code.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -147,6 +169,7 @@ func runServe(sp *spec.Spec, cfg serveConfig, stdin io.Reader, stdout, stderr io
 	}
 	node := netwire.NewNode(netwire.Config{
 		ID: cfg.id, ListenAddr: cfg.listen, NodeIndex: cfg.index, Logf: cfg.logf,
+		Debug: debugMux(),
 	})
 	defer node.Close()
 	addr, err := node.Listen()
@@ -276,6 +299,7 @@ type cluster struct {
 func (c *cluster) Send(from, to simnet.SiteID, payload any) { c.node.Send(from, to, payload) }
 func (c *cluster) Now() simnet.Time                         { return c.node.Now() }
 func (c *cluster) NextOccurrence() int64                    { return c.node.NextOccurrence() }
+func (c *cluster) Clock() int64                             { return c.node.Clock() }
 func (c *cluster) Register(site simnet.SiteID, h func(n actor.Net, payload any)) {
 	c.node.Register(site, h)
 }
@@ -365,6 +389,7 @@ func runLocal(sp *spec.Spec, specPath string, n int, timeout, poll time.Duration
 	}
 	node := netwire.NewNode(netwire.Config{
 		ID: string(arun.DefaultDriver), ListenAddr: "127.0.0.1:0", NodeIndex: 0, Logf: logf,
+		Debug: debugMux(),
 	})
 	addr0, err := node.Listen()
 	if err != nil {

@@ -18,7 +18,7 @@
 //	wfrun [-transport sim|live|net]
 //	      [-sched distributed|central-residuation|central-automata|all]
 //	      [-instances n] [-workers n]
-//	      [-seed n] [-trace] [file.wf]
+//	      [-seed n] [-decisions] [-trace out.jsonl] [file.wf]
 package main
 
 import (
@@ -31,6 +31,7 @@ import (
 	"repro/internal/arun"
 	"repro/internal/engine"
 	"repro/internal/netwire"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/spec"
 )
@@ -41,7 +42,8 @@ func main() {
 	instances := flag.Int("instances", 1, "concurrent workflow instances (>1 uses the multi-instance engine; sim or net)")
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = engine default)")
 	seed := flag.Int64("seed", 1996, "simulation seed")
-	showDecisions := flag.Bool("trace", false, "print every decision")
+	showDecisions := flag.Bool("decisions", false, "print every decision")
+	traceOut := flag.String("trace", "", "capture the decision trace to a JSONL file (analyze with wftrace)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -53,29 +55,58 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, os.Stdout, *transport, *kindFlag, *instances, *workers, *seed, *showDecisions); err != nil {
+	if err := run(in, os.Stdout, *transport, *kindFlag, *instances, *workers, *seed, *showDecisions, *traceOut); err != nil {
 		fatal(err)
 	}
 }
 
 // run executes the spec read from in on the requested transport and
-// scheduler(s) and writes the report to out.
-func run(in io.Reader, out io.Writer, transport, kindFlag string, instances, workers int, seed int64, showDecisions bool) error {
+// scheduler(s) and writes the report to out.  A non-empty traceOut
+// enables full decision-trace capture on the process-wide tracer and
+// writes the causally ordered stream there afterwards.
+func run(in io.Reader, out io.Writer, transport, kindFlag string, instances, workers int, seed int64, showDecisions bool, traceOut string) error {
 	s, err := spec.Parse(in)
 	if err != nil {
 		return err
 	}
-	if instances > 1 {
-		return runEngine(s, out, transport, instances, workers, seed)
+	if traceOut != "" {
+		obs.Shared().Reset()
+		obs.Shared().Enable(true)
 	}
-	switch transport {
-	case "", "sim":
-		return runSim(s, out, kindFlag, seed, showDecisions)
-	case "live", "net":
-		return runAsync(s, out, transport, seed)
+	switch {
+	case instances > 1:
+		err = runEngine(s, out, transport, instances, workers, seed)
 	default:
-		return fmt.Errorf("unknown transport %q (want sim, live, or net)", transport)
+		switch transport {
+		case "", "sim":
+			err = runSim(s, out, kindFlag, seed, showDecisions)
+		case "live", "net":
+			err = runAsync(s, out, transport, seed)
+		default:
+			err = fmt.Errorf("unknown transport %q (want sim, live, or net)", transport)
+		}
 	}
+	if traceOut != "" {
+		obs.Shared().Disable()
+		if werr := writeTrace(traceOut, obs.Shared().Records()); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// writeTrace sorts a capture into causal order and writes it as JSONL.
+func writeTrace(path string, recs []obs.Record) error {
+	obs.SortCausal(recs)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSONL(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runEngine executes many concurrent instances through the

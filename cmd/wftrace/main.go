@@ -1,0 +1,214 @@
+// Command wftrace analyzes a decision trace captured with
+// wfrun/wfbench -trace (or merged from several wfnet nodes).  The
+// input is the JSONL stream of internal/obs records; analysis works on
+// the causally ordered merge (sort by Lamport stamp, then site,
+// instance, sequence).
+//
+// Usage:
+//
+//	wftrace [-check] [-stalls] [-event sym] [trace.jsonl]
+//
+// With no flags it prints a summary: records per kind, sites,
+// instances, and the terminal verdict of every event.  -event prints
+// the causally ordered decision timeline of one event (both
+// polarities).  -stalls lists events with protocol activity but no
+// terminal verdict.  -check runs the cross-site causality and
+// invariant checker (internal/obs/check) and fails on violations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/obs/check"
+)
+
+func main() {
+	doCheck := flag.Bool("check", false, "verify trace invariants (causality, terminal uniqueness, Lamport order)")
+	stalls := flag.Bool("stalls", false, "list events with activity but no terminal verdict")
+	event := flag.String("event", "", "print the decision timeline of one event (base symbol)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 && flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, os.Stdout, *doCheck, *stalls, *event); err != nil {
+		fatal(err)
+	}
+}
+
+func run(in io.Reader, out io.Writer, doCheck, stalls bool, event string) error {
+	recs, err := obs.ReadJSONL(in)
+	if err != nil {
+		return err
+	}
+	obs.SortCausal(recs)
+
+	switch {
+	case doCheck:
+		return runCheck(out, recs)
+	case event != "":
+		return timeline(out, recs, event)
+	case stalls:
+		return stallReport(out, recs)
+	}
+	return summary(out, recs)
+}
+
+// base strips the complement marker off a symbol key.
+func base(sym string) string { return strings.TrimPrefix(sym, "~") }
+
+type eventInst struct {
+	base string
+	inst uint32
+}
+
+func (e eventInst) String() string {
+	if e.inst == 0 {
+		return e.base
+	}
+	return fmt.Sprintf("%s#%d", e.base, e.inst)
+}
+
+func summary(out io.Writer, recs []obs.Record) error {
+	if len(recs) == 0 {
+		fmt.Fprintln(out, "empty trace")
+		return nil
+	}
+	kinds := map[string]int{}
+	sites := map[string]bool{}
+	insts := map[uint32]bool{}
+	terminals := map[eventInst]obs.Record{}
+	for _, r := range recs {
+		kinds[r.Kind]++
+		sites[r.Site] = true
+		insts[r.Inst] = true
+		if r.Kind == obs.KindFire || r.Kind == obs.KindReject {
+			terminals[eventInst{base(r.Sym), r.Inst}] = r
+		}
+	}
+	fmt.Fprintf(out, "%d records, %d sites, %d instances, lamport %d..%d\n",
+		len(recs), len(sites), len(insts), recs[0].Lamport, recs[len(recs)-1].Lamport)
+	for _, k := range []string{obs.KindAttempt, obs.KindAnnounce, obs.KindEval,
+		obs.KindResiduate, obs.KindFire, obs.KindReject} {
+		if kinds[k] > 0 {
+			fmt.Fprintf(out, "  %-10s %d\n", k, kinds[k])
+		}
+	}
+	events := make([]eventInst, 0, len(terminals))
+	for e := range terminals {
+		events = append(events, e)
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].base != events[j].base {
+			return events[i].base < events[j].base
+		}
+		return events[i].inst < events[j].inst
+	})
+	for _, e := range events {
+		r := terminals[e]
+		switch r.Kind {
+		case obs.KindFire:
+			fmt.Fprintf(out, "  %-16s %s@%d at %s\n", e, r.Sym, r.At, r.Site)
+		default:
+			fmt.Fprintf(out, "  %-16s reject %s (%s) at %s\n", e, r.Sym, r.Verdict, r.Site)
+		}
+	}
+	return nil
+}
+
+// timeline prints every record about one event, both polarities, in
+// causal order.
+func timeline(out io.Writer, recs []obs.Record, event string) error {
+	found := false
+	for _, r := range recs {
+		if base(r.Sym) != base(event) {
+			continue
+		}
+		found = true
+		detail := r.Verdict
+		if r.Kind == obs.KindFire || r.Kind == obs.KindAnnounce {
+			detail = fmt.Sprintf("@%d", r.At)
+		}
+		if r.Guard != "" {
+			detail = strings.TrimSpace(detail + " guard=" + r.Guard)
+		}
+		fmt.Fprintf(out, "lam=%-8d %-10s inst=%-4d %-10s %-12s %s\n",
+			r.Lamport, r.Site, r.Inst, r.Kind, r.Sym, detail)
+	}
+	if !found {
+		return fmt.Errorf("no records for event %q", event)
+	}
+	return nil
+}
+
+// stallReport lists events that saw protocol activity but never
+// reached a terminal verdict — the "why is my instance stuck" view.
+func stallReport(out io.Writer, recs []obs.Record) error {
+	active := map[eventInst]obs.Record{} // last record about the event
+	settled := map[eventInst]bool{}
+	for _, r := range recs {
+		if r.Sym == "" {
+			continue
+		}
+		e := eventInst{base(r.Sym), r.Inst}
+		switch r.Kind {
+		case obs.KindFire, obs.KindReject:
+			settled[e] = true
+		case obs.KindAnnounce:
+			continue // hearing about an event is not local activity on it
+		default:
+			active[e] = r
+		}
+	}
+	var stalled []eventInst
+	for e := range active {
+		if !settled[e] {
+			stalled = append(stalled, e)
+		}
+	}
+	if len(stalled) == 0 {
+		fmt.Fprintln(out, "no stalls: every attempted event reached a terminal verdict")
+		return nil
+	}
+	sort.Slice(stalled, func(i, j int) bool {
+		if stalled[i].base != stalled[j].base {
+			return stalled[i].base < stalled[j].base
+		}
+		return stalled[i].inst < stalled[j].inst
+	})
+	for _, e := range stalled {
+		r := active[e]
+		fmt.Fprintf(out, "STALLED %-16s last %s %s (%s) lam=%d at %s\n",
+			e, r.Kind, r.Sym, r.Verdict, r.Lamport, r.Site)
+	}
+	return fmt.Errorf("%d stalled event(s)", len(stalled))
+}
+
+func runCheck(out io.Writer, recs []obs.Record) error {
+	violations := check.Trace(recs)
+	if len(violations) == 0 {
+		fmt.Fprintf(out, "ok: %d records, all invariants hold\n", len(recs))
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Fprintln(out, v)
+	}
+	return fmt.Errorf("%d invariant violation(s)", len(violations))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wftrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// capture runs a traced simulator execution and returns its JSONL
+// stream — the same artifact wfrun -trace writes.
+func capture(t *testing.T) string {
+	t.Helper()
+	tracer := obs.NewTracer(1)
+	tracer.Enable(true)
+	cfg := workload.Chain(4, 2).Config(sched.Distributed, 7)
+	cfg.Tracer = tracer
+	if _, err := sched.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	recs := tracer.Records()
+	obs.SortCausal(recs)
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestSummary(t *testing.T) {
+	in := capture(t)
+	var out bytes.Buffer
+	if err := run(strings.NewReader(in), &out, false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"records", "fire", "e000"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCheckCleanTrace(t *testing.T) {
+	in := capture(t)
+	var out bytes.Buffer
+	if err := run(strings.NewReader(in), &out, true, false, ""); err != nil {
+		t.Fatalf("clean trace failed check: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "all invariants hold") {
+		t.Errorf("check output: %s", out.String())
+	}
+}
+
+func TestCheckFlagsViolation(t *testing.T) {
+	// A fire with no enabling evidence must fail the causality check.
+	in := `{"lam":1,"site":"a","kind":"fire","sym":"e","at":1,"seq":0}` + "\n"
+	var out bytes.Buffer
+	if err := run(strings.NewReader(in), &out, true, false, ""); err == nil {
+		t.Fatalf("bad trace passed check:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "causal-fire") {
+		t.Errorf("violation not reported: %s", out.String())
+	}
+}
+
+func TestEventTimeline(t *testing.T) {
+	in := capture(t)
+	var out bytes.Buffer
+	if err := run(strings.NewReader(in), &out, false, false, "e001"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "e001") {
+		t.Errorf("timeline lacks the event:\n%s", out.String())
+	}
+	if err := run(strings.NewReader(in), &bytes.Buffer{}, false, false, "nosuch"); err == nil {
+		t.Error("unknown event must error")
+	}
+}
+
+func TestStalls(t *testing.T) {
+	in := capture(t)
+	var out bytes.Buffer
+	if err := run(strings.NewReader(in), &out, false, true, ""); err != nil {
+		t.Fatalf("completed run reported stalls: %v\n%s", err, out.String())
+	}
+
+	// An attempt with no terminal verdict is a stall, and the exit
+	// status says so.
+	stuck := `{"lam":0,"site":"a","kind":"attempt","sym":"e","seq":0}` + "\n"
+	out.Reset()
+	if err := run(strings.NewReader(stuck), &out, false, true, ""); err == nil {
+		t.Fatalf("stalled trace not flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "STALLED") {
+		t.Errorf("stall not listed: %s", out.String())
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sort"
 
 	"repro/internal/algebra"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/temporal"
 )
@@ -55,6 +56,12 @@ type Net interface {
 	// NextOccurrence issues the next globally ordered occurrence
 	// index.
 	NextOccurrence() int64
+	// Clock reads the transport's current Lamport occurrence bound
+	// without advancing it: every occurrence index issued so far is
+	// ≤ Clock(), and every future one is > Clock().  Observability
+	// uses it to stamp trace records; the protocol itself never reads
+	// it.
+	Clock() int64
 }
 
 // Actor manages one event (both polarities) at one site.
@@ -80,6 +87,11 @@ type Actor struct {
 
 	// Log, when set, receives a line per significant action.
 	Log func(format string, args ...any)
+
+	// Trace, when set, receives a decision record per protocol step.
+	// A nil scope is off; an attached scope costs one atomic load per
+	// step while its tracer is disabled.
+	Trace *obs.Scope
 }
 
 type polarity struct {
@@ -345,11 +357,27 @@ func (a *Actor) GuardOf(s algebra.Symbol) temporal.Formula { return a.guards[s.K
 // guard, re-reducing only when the knowledge changed since the last
 // reduction — the stored residual already reflects everything older,
 // and reducing it again under unchanged knowledge is the identity.
-func (a *Actor) residualGuard(p *polarity) temporal.Formula {
+func (a *Actor) residualGuard(n Net, p *polarity) temporal.Formula {
 	key := p.sym.Key()
 	g := a.guards[key]
 	if v := a.know.Version(); a.reducedVer[key] != v {
-		g = a.know.Reduce(g)
+		if a.Trace.On() {
+			// Compare by key, not by value: a Formula's dynamic type
+			// need not be comparable, and the key is only computed once
+			// the tracing gate passed.
+			before := g.Key()
+			g = a.know.Reduce(g)
+			if after := g.Key(); after != before {
+				a.Trace.Emit(obs.Record{
+					Lamport: n.Clock(),
+					Kind:    obs.KindResiduate,
+					Sym:     key,
+					Guard:   after,
+				})
+			}
+		} else {
+			g = a.know.Reduce(g)
+		}
 		a.guards[key] = g
 		a.reducedVer[key] = v
 	}
@@ -418,6 +446,19 @@ func (a *Actor) Deliver(n Net, payload any) {
 func (a *Actor) onAttempt(n Net, m AttemptMsg) {
 	p := a.pol(m.Sym)
 	a.logf("attempt %s forced=%v", m.Sym, m.Forced)
+	mAttempts.Inc()
+	if a.Trace.On() {
+		verdict := ""
+		if m.Forced {
+			verdict = "forced"
+		}
+		a.Trace.Emit(obs.Record{
+			Lamport: n.Clock(),
+			Kind:    obs.KindAttempt,
+			Sym:     m.Sym.Key(),
+			Verdict: verdict,
+		})
+	}
 	if p.occurred {
 		a.sendDecision(n, p, true, "already occurred")
 		return
@@ -447,8 +488,16 @@ func (a *Actor) onAttempt(n Net, m AttemptMsg) {
 	a.decide(n, p)
 	if first && !p.occurred && !p.rejected {
 		// The symbol is now attempted: past inquirers may be able to
-		// obtain the conditional promise they were missing.
+		// obtain the conditional promise they were missing.  Sorted so
+		// the send order — and with it the simulator's delivery
+		// sequence — is a pure function of the actor state (the
+		// golden-replay property).
+		sites := make([]simnet.SiteID, 0, len(p.pastInquirers))
 		for site := range p.pastInquirers {
+			sites = append(sites, site)
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		for _, site := range sites {
 			n.Send(a.site, site, NudgeMsg{Sym: p.sym})
 		}
 	}
@@ -473,6 +522,15 @@ func (a *Actor) onAnnounce(n Net, m AnnounceMsg) {
 		return // our own occurrences are recorded at fire time
 	}
 	a.logf("announce %s@%d", m.Sym, m.At)
+	mAnnouncements.Inc()
+	if a.Trace.On() {
+		a.Trace.Emit(obs.Record{
+			Lamport: n.Clock(),
+			Kind:    obs.KindAnnounce,
+			Sym:     m.Sym.Key(),
+			At:      m.At,
+		})
+	}
 	a.know.Observe(m.Sym, m.At)
 	a.answerDeferred(n)
 	a.settlePromises(n)
@@ -523,24 +581,27 @@ func (a *Actor) decide(n Net, p *polarity) {
 	if p.occurred || p.rejected || p.fireReady {
 		return
 	}
-	g := a.residualGuard(p)
+	g := a.residualGuard(n, p)
 	if g.IsFalse() {
 		a.endRound(n, p)
 		a.reject(n, p, "guard reduced to 0")
 		return
 	}
-	switch a.localView(p).Decide(g) {
+	switch v := a.localView(p).Decide(g); v {
 	case temporal.True:
+		a.traceEval(n, p, g, "true")
 		p.wave = nil
 		a.releaseUnneededHolds(n, p, g)
 		a.tryFire(n, p)
 	case temporal.False, temporal.Unknown:
 		if wave, ok := a.decideWave(p, g); ok {
+			a.traceEval(n, p, g, "wave")
 			p.wave = wave
 			a.releaseUnneededHolds(n, p, g)
 			a.tryFire(n, p)
 			return
 		}
+		a.traceEval(n, p, g, v.String())
 		if p.round == nil {
 			a.startRound(n, p, g)
 		}
@@ -595,6 +656,7 @@ func (a *Actor) hypothesis(p *polarity) []algebra.Symbol {
 }
 
 func (a *Actor) onInquire(n Net, m InquireMsg) {
+	mInquiries.Inc()
 	p := a.pol(m.Target)
 	p.pastInquirers[m.ReplyTo] = true
 	if p.occurred {
@@ -864,13 +926,14 @@ func (a *Actor) onReply(n Net, m InquireReplyMsg) {
 }
 
 func (a *Actor) finishRound(n Net, p *polarity) {
-	g := a.residualGuard(p)
+	g := a.residualGuard(n, p)
 	if g.IsFalse() {
 		a.endRound(n, p)
 		a.reject(n, p, "guard reduced to 0")
 		return
 	}
 	if a.localView(p).Decide(g) == temporal.True {
+		a.traceEval(n, p, g, "true")
 		// Keep only the holds that back a ¬ literal of the guard; the
 		// rest were incidental to the inquiry and would deadlock
 		// mutually fire-ready commit waves.
@@ -880,11 +943,13 @@ func (a *Actor) finishRound(n Net, p *polarity) {
 		return
 	}
 	if wave, ok := a.decideWave(p, g); ok {
+		a.traceEval(n, p, g, "wave")
 		p.wave = wave
 		a.releaseUnneededHolds(n, p, g)
 		a.tryFire(n, p)
 		return
 	}
+	a.traceEval(n, p, g, "unknown")
 	a.logf("round for %s inconclusive (guard %s, know %s)", p.sym, g.Key(), a.know.String())
 	a.endRound(n, p)
 	if p.retry {
@@ -914,7 +979,15 @@ func (a *Actor) endRound(n Net, p *polarity) {
 // (those events must now occur) and the rest lapse; on rejection,
 // everything lapses.
 func (a *Actor) settleClaims(n Net, p *polarity, fired bool) {
-	for k, c := range p.promiseClaims {
+	// Sorted claim order keeps the release sends — and the simulated
+	// delivery sequence they induce — replay-deterministic.
+	keys := make([]string, 0, len(p.promiseClaims))
+	for k := range p.promiseClaims {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := p.promiseClaims[k]
 		// Only the claims of the chosen commit wave were relied upon;
 		// a fire that needed no wave lapses everything.
 		discharge := fired && p.wave != nil && p.wave[k]
@@ -1005,6 +1078,15 @@ func (a *Actor) fire(n Net, p *polarity) {
 	p.at = at
 	a.know.Observe(p.sym, at)
 	a.logf("FIRE %s@%d", p.sym, at)
+	mFires.Inc()
+	if a.Trace.On() {
+		a.Trace.Emit(obs.Record{
+			Lamport: n.Clock(),
+			Kind:    obs.KindFire,
+			Sym:     p.sym.Key(),
+			At:      at,
+		})
+	}
 	a.hooks.fire(p.sym, at, n.Now())
 
 	for _, site := range a.dir.SubscribersOf(p.sym) {
@@ -1036,6 +1118,15 @@ func (a *Actor) reject(n Net, p *polarity, reason string) {
 	a.endRound(n, p)
 	a.settleClaims(n, p, false)
 	a.logf("REJECT %s: %s", p.sym, reason)
+	mRejects.Inc()
+	if a.Trace.On() {
+		a.Trace.Emit(obs.Record{
+			Lamport: n.Clock(),
+			Kind:    obs.KindReject,
+			Sym:     p.sym.Key(),
+			Verdict: reason,
+		})
+	}
 	if p.attempted {
 		a.sendDecision(n, p, false, reason)
 	}

@@ -1,0 +1,31 @@
+package actor
+
+import (
+	"repro/internal/obs"
+	"repro/internal/temporal"
+)
+
+// Protocol-level metrics, shared by every actor in the process.  The
+// handles are registered once; the hot paths only touch atomics.
+var (
+	mAttempts      = obs.C("actor.attempts")
+	mAnnouncements = obs.C("actor.announcements")
+	mFires         = obs.C("actor.fires")
+	mRejects       = obs.C("actor.rejects")
+	mInquiries     = obs.C("actor.inquiries")
+)
+
+// traceEval emits one guard-evaluation record.  Guard keys are only
+// computed once the single-atomic-load gate passed.
+func (a *Actor) traceEval(n Net, p *polarity, g temporal.Formula, verdict string) {
+	if !a.Trace.On() {
+		return
+	}
+	a.Trace.Emit(obs.Record{
+		Lamport: n.Clock(),
+		Kind:    obs.KindEval,
+		Sym:     p.sym.Key(),
+		Guard:   g.Key(),
+		Verdict: verdict,
+	})
+}

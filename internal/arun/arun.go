@@ -28,6 +28,7 @@ import (
 	"repro/internal/actor"
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/quiesce"
 	"repro/internal/sched"
 	"repro/internal/simnet"
@@ -67,6 +68,9 @@ type Options struct {
 	Pipelined bool
 	// PollInterval is the pipelined decision-wait slice (default 200µs).
 	PollInterval time.Duration
+	// Tracer receives the actors' decision records (see
+	// RunnerOptions.Tracer); nil falls back to obs.Shared().
+	Tracer *obs.Tracer
 }
 
 // Outcome is the comparable result of a run.
@@ -191,9 +195,16 @@ func New(tr Transport, sp *spec.Spec, opt Options) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	tracer := opt.Tracer
+	if tracer == nil {
+		tracer = obs.Shared()
+	}
 	return p.NewRunner(tr, RunnerOptions{
 		Hosted: opt.Hosted, IdleTimeout: opt.IdleTimeout,
 		Pipelined: opt.Pipelined, PollInterval: opt.PollInterval,
+		// One New call = one execution = one instance tag, so repeated
+		// runs into a shared capture stay separable per instance.
+		Tracer: tracer, Instance: tracer.NextInst(),
 	})
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/actor"
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/spec"
 	"repro/internal/temporal"
@@ -169,6 +170,13 @@ type RunnerOptions struct {
 	// SatCache shares trace-satisfaction results across runners of
 	// the same spec (optional; see NewSatCache).
 	SatCache *SatCache
+	// Tracer receives every actor's decision records; nil falls back
+	// to the process-wide obs.Shared() tracer (disabled by default, so
+	// the cost is one atomic load per protocol step).
+	Tracer *obs.Tracer
+	// Instance tags this runner's trace records (engine instance id;
+	// zero for single-instance runs).
+	Instance uint32
 }
 
 // NewRunner instantiates fresh actors for the plan on a transport.
@@ -203,6 +211,10 @@ func (p *Plan) NewRunner(tr Transport, opt RunnerOptions) (*Runner, error) {
 	if !p.observe {
 		hooks = &actor.Hooks{OnFire: r.hookFire, OnDecision: r.hookDecision}
 	}
+	tracer := opt.Tracer
+	if tracer == nil {
+		tracer = obs.Shared()
+	}
 
 	hosts := map[simnet.SiteID]*siteHost{}
 	host := func(site simnet.SiteID) *siteHost {
@@ -213,21 +225,25 @@ func (p *Plan) NewRunner(tr Transport, opt RunnerOptions) (*Runner, error) {
 		}
 		return h
 	}
+	attach := func(a *actor.Actor) *actor.Actor {
+		a.Trace = tracer.Scope(string(a.Site()), opt.Instance)
+		return a
+	}
 	for _, b := range p.bases {
 		site := p.siteOf[b.Key()]
 		if !hosted(site) {
 			continue
 		}
-		host(site).add(actor.New(b, site, p.dir, hooks, p.pos[b.Key()], p.neg[b.Key()]))
+		host(site).add(attach(actor.New(b, site, p.dir, hooks, p.pos[b.Key()], p.neg[b.Key()])))
 	}
 	for _, x := range p.extras {
 		site := p.siteOf[x.Key()]
 		if !hosted(site) {
 			continue
 		}
-		host(site).add(actor.New(x, site, p.dir, hooks,
+		host(site).add(attach(actor.New(x, site, p.dir, hooks,
 			actor.GuardSpec{Guard: temporal.TrueF()},
-			actor.GuardSpec{Guard: temporal.TrueF()}))
+			actor.GuardSpec{Guard: temporal.TrueF()})))
 	}
 	for _, s := range p.trig {
 		if h, ok := hosts[p.siteOf[s.Base().Key()]]; ok {

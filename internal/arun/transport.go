@@ -56,6 +56,9 @@ func (s *SimTransport) Now() simnet.Time { return s.Net.Now() }
 // NextOccurrence implements actor.Net.
 func (s *SimTransport) NextOccurrence() int64 { return s.Net.NextOccurrence() }
 
+// Clock implements actor.Net.
+func (s *SimTransport) Clock() int64 { return s.Net.Clock() }
+
 // WaitIdle drains the virtual event queue.
 func (s *SimTransport) WaitIdle(time.Duration) bool {
 	s.Net.Run(s.maxSteps)
@@ -90,6 +93,9 @@ func (l *LiveTransport) Now() simnet.Time { return l.Net.Now() }
 
 // NextOccurrence implements actor.Net.
 func (l *LiveTransport) NextOccurrence() int64 { return l.Net.NextOccurrence() }
+
+// Clock implements actor.Net.
+func (l *LiveTransport) Clock() int64 { return l.Net.Clock() }
 
 // WaitIdle implements Transport.
 func (l *LiveTransport) WaitIdle(timeout time.Duration) bool {

@@ -100,6 +100,7 @@ func All() []Experiment {
 		{"P9", P9, "ablation: incremental vs from-scratch parametrized evaluation"},
 		{"P10", P10, "transport comparison: simnet vs livenet vs netwire"},
 		{"P11", P11, "multi-instance engine throughput vs serial quiescence"},
+		{"P12", P12, "tracing overhead: disabled vs ring vs full capture"},
 	}
 }
 

@@ -129,6 +129,7 @@ func (sy *Synthesizer) guard(d *algebra.Expr, e algebra.Symbol) temporal.Formula
 		sh.mu.Unlock()
 		<-ent.done
 		sy.cacheHits.Add(1)
+		mSynthHits.Inc()
 		return ent.g
 	}
 	ent := &synthEntry{done: make(chan struct{})}
@@ -136,6 +137,7 @@ func (sy *Synthesizer) guard(d *algebra.Expr, e algebra.Symbol) temporal.Formula
 	sh.mu.Unlock()
 
 	sy.calls.Add(1)
+	mSynthCalls.Inc()
 	ent.g = sy.compute(d, e)
 	close(ent.done)
 	return ent.g

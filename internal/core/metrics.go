@@ -1,0 +1,11 @@
+package core
+
+import "repro/internal/obs"
+
+// Process-wide synthesis metrics: the per-Synthesizer SynthStats stay
+// the deterministic compile-report source; these aggregate across all
+// synthesizers for the observability endpoint.
+var (
+	mSynthCalls = obs.C("synth.calls")
+	mSynthHits  = obs.C("synth.cache_hits")
+)

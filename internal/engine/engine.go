@@ -38,6 +38,7 @@ import (
 	"repro/internal/arun"
 	"repro/internal/core"
 	"repro/internal/netwire"
+	"repro/internal/obs"
 	"repro/internal/quiesce"
 	"repro/internal/simnet"
 	"repro/internal/spec"
@@ -86,6 +87,9 @@ type Options struct {
 	// KeepOutcomes retains every instance's full outcome in the
 	// result (costs memory at large N).
 	KeepOutcomes bool
+	// Tracer receives every instance's decision records, tagged with
+	// the instance ID; nil falls back to obs.Shared().
+	Tracer *obs.Tracer
 }
 
 // Result aggregates an engine run.
@@ -210,10 +214,13 @@ func Run(sp *spec.Spec, opt Options) (*Result, error) {
 
 // runOne executes a single instance on its transport.
 func runOne(plan *arun.Plan, eng *netEngine, sc *arun.Scratch, sat *arun.SatCache, idx int, opt Options) (*arun.Outcome, error) {
+	started := time.Now()
 	ropt := arun.RunnerOptions{
 		IdleTimeout: opt.IdleTimeout,
 		Scratch:     sc,
 		SatCache:    sat,
+		Tracer:      opt.Tracer,
+		Instance:    uint32(idx),
 	}
 	var tr arun.Transport
 	if eng != nil {
@@ -237,7 +244,12 @@ func runOne(plan *arun.Plan, eng *netEngine, sc *arun.Scratch, sat *arun.SatCach
 	if err != nil {
 		return nil, err
 	}
-	return r.Run()
+	out, err := r.Run()
+	if err == nil {
+		mInstances.Inc()
+		mInstanceUS.Observe(time.Since(started).Microseconds())
+	}
+	return out, err
 }
 
 // simXport wraps the simulator transport with direct driver
@@ -381,6 +393,7 @@ type siteNet struct {
 func (s *siteNet) Send(from, to simnet.SiteID, payload any) { s.inst.send(from, to, payload) }
 func (s *siteNet) Now() simnet.Time                         { return s.node.Now() }
 func (s *siteNet) NextOccurrence() int64                    { return s.node.NextOccurrence() }
+func (s *siteNet) Clock() int64                             { return s.node.Clock() }
 
 // instXport is the arun.Transport the instance's runner drives:
 // registration binds into the shared demultiplexers, and WaitIdle
@@ -411,6 +424,8 @@ func (x *instXport) Send(from, to simnet.SiteID, payload any) { x.inst.send(from
 func (x *instXport) Now() simnet.Time { return x.inst.e.mesh.Now() }
 
 func (x *instXport) NextOccurrence() int64 { return x.inst.e.mesh.NextOccurrence() }
+
+func (x *instXport) Clock() int64 { return x.inst.e.mesh.Clock() }
 
 // WaitIdle blocks until this instance has no in-flight messages.  A
 // single zero observation suffices (see siteHandler); the poll slice

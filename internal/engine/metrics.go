@@ -1,0 +1,13 @@
+package engine
+
+import "repro/internal/obs"
+
+// Engine metrics: completed instances and their end-to-end latency,
+// bucketed from sub-millisecond sim instances up to second-scale wire
+// runs (microseconds).
+var (
+	mInstances  = obs.C("engine.instances")
+	mInstanceUS = obs.H("engine.instance_us",
+		100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+		100_000, 250_000, 500_000, 1_000_000)
+)

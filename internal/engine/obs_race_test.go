@@ -1,0 +1,58 @@
+package engine_test
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/spec"
+)
+
+// TestMetricsReadableWhileEngineRuns reads the registry — snapshot,
+// diff, JSON encoding — concurrently with a multi-instance engine run.
+// The counters the engine moves are atomics in the obs registry, so
+// under -race this asserts the whole read path is synchronization-free
+// to use from a scraper (the /debug/metrics handler) mid-run.
+func TestMetricsReadableWhileEngineRuns(t *testing.T) {
+	sp, err := spec.ParseString(`workflow w
+dep ~b + a . b
+event a site=s1
+event b site=s2
+agent g site=s1
+  step a think=5
+  step b think=10
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := obs.Default.Snapshot()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			snap := obs.Default.Snapshot()
+			snap.Diff(before)
+			if err := snap.WriteJSON(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	if _, err := engine.Run(sp, engine.Options{Instances: 8, Seed: 11}); err != nil {
+		t.Error(err)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	diff := obs.Default.Snapshot().Diff(before)
+	if m, _ := diff.Get("engine.instances"); m.Value < 8 {
+		t.Fatalf("engine.instances moved by %d, want >= 8", m.Value)
+	}
+}

@@ -111,6 +111,9 @@ func (n *Net) Now() simnet.Time {
 // (atomic: a total order across all goroutines).
 func (n *Net) NextOccurrence() int64 { return n.occ.Add(1) }
 
+// Clock reads the current occurrence bound without advancing it.
+func (n *Net) Clock() int64 { return n.occ.Load() }
+
 // WaitIdle blocks until no messages are queued or being processed,
 // stable across several observations, or the timeout elapses.  It
 // reports whether quiescence was reached.  The accounting lives in

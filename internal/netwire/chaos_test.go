@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/arun"
 	"repro/internal/netwire"
+	"repro/internal/obs"
+	"repro/internal/obs/check"
 	"repro/internal/simnet"
 	"repro/internal/spec"
 )
@@ -134,16 +136,25 @@ func chaosPlans(sites []simnet.SiteID) []*simnet.FaultPlan {
 	return plans
 }
 
+// chaosRun executes the spec on the transport with full decision
+// tracing and validates the capture against the protocol invariants
+// (internal/obs/check) — every workflow × fault plan × transport run
+// in the suite gets its trace checked, not just its outcome.
 func chaosRun(t *testing.T, sp *spec.Spec, tr arun.Transport) *arun.Outcome {
 	t.Helper()
 	defer tr.Close()
-	r, err := arun.New(tr, sp, arun.Options{IdleTimeout: 30 * time.Second})
+	tracer := obs.NewTracer(1)
+	tracer.Enable(true) // full capture: the checker needs every record
+	r, err := arun.New(tr, sp, arun.Options{IdleTimeout: 30 * time.Second, Tracer: tracer})
 	if err != nil {
 		t.Fatal(err)
 	}
 	out, err := r.Run()
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, v := range check.Trace(tracer.Records()) {
+		t.Errorf("trace invariant: %s", v)
 	}
 	return out
 }

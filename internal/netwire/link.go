@@ -58,6 +58,7 @@ func (l *link) enqueue(from, to simnet.SiteID, payload []byte, pbuf *[]byte) {
 	l.nextSeq++
 	l.frames = append(l.frames, &outFrame{seq: l.nextSeq, from: from, to: to, payload: payload, pbuf: pbuf})
 	l.mu.Unlock()
+	mQueueDepth.Add(1)
 	l.signal()
 }
 
@@ -100,6 +101,7 @@ func (l *link) ack(upTo uint64) {
 		l.node.pend.Done()
 	}
 	if pruned > 0 {
+		mQueueDepth.Add(int64(-pruned))
 		l.signal()
 	}
 }
@@ -211,6 +213,7 @@ func (l *link) session(conn net.Conn) {
 				size += len(toSend[take].payload)
 				take++
 			}
+			mBatchFill.Observe(int64(take))
 			var err error
 			if take == 1 {
 				err = l.transmit(cw, toSend[0])
@@ -272,6 +275,9 @@ func (l *link) session(conn net.Conn) {
 func (l *link) transmit(cw *connWriter, f *outFrame) error {
 	attempt := f.attempts
 	f.attempts++
+	if attempt > 0 {
+		mRetransmits.Inc()
+	}
 	fp := l.node.cfg.Fault
 	if fp == nil {
 		return cw.write(appendData(nil, f.seq, l.node.clock.Load(), f.from, f.to, f.payload))
@@ -328,6 +334,9 @@ func (l *link) transmitBatch(cw *connWriter, frames []*outFrame) error {
 	first := frames[0]
 	attempt := first.attempts
 	for _, f := range frames {
+		if f.attempts > 0 {
+			mRetransmits.Inc()
+		}
 		f.attempts++
 	}
 	l.node.batches.Add(1)

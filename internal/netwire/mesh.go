@@ -81,6 +81,9 @@ func (m *Mesh) Now() simnet.Time { return m.nodes[m.driver].Now() }
 // NextOccurrence issues an occurrence index from the driver node.
 func (m *Mesh) NextOccurrence() int64 { return m.nodes[m.driver].NextOccurrence() }
 
+// Clock reads the driver node's occurrence bound without advancing it.
+func (m *Mesh) Clock() int64 { return m.nodes[m.driver].Clock() }
+
 // WaitIdle waits for genuine cluster-wide quiescence: the sum of all
 // nodes' pending work stably zero.
 func (m *Mesh) WaitIdle(timeout time.Duration) bool {

@@ -1,0 +1,13 @@
+package netwire
+
+import "repro/internal/obs"
+
+// Wire-transport metrics, aggregated over every link in the process.
+// Queue depth is a live gauge (enqueue minus pruned); batch fill is a
+// histogram of frames coalesced per outbound flush, bucketed up to the
+// maxBatchFrames cap.
+var (
+	mRetransmits = obs.C("netwire.retransmits")
+	mQueueDepth  = obs.G("netwire.queue_depth")
+	mBatchFill   = obs.H("netwire.batch_frames", 1, 2, 4, 8, 16, 32, 64)
+)

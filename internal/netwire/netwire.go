@@ -41,6 +41,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -103,6 +104,14 @@ type Config struct {
 	WriteTimeout time.Duration
 	// Logf, when set, receives transport diagnostics.
 	Logf func(format string, args ...any)
+	// Debug, when set, serves HTTP on the node's own listener: inbound
+	// connections whose first byte is not a frame length prefix are
+	// handed to this handler (cmd/wfnet mounts /debug/metrics and
+	// net/http/pprof here).  Frame traffic is unaffected — a
+	// legitimate frame's first length byte is always zero because
+	// maxFrame < 1<<24, and HTTP methods start with a nonzero ASCII
+	// byte.
+	Debug http.Handler
 }
 
 func (c *Config) retryMin() time.Duration {
@@ -229,6 +238,16 @@ func (n *Node) Now() simnet.Time {
 // delivery.
 func (n *Node) NextOccurrence() int64 {
 	return n.clock.Add(1)<<nodeBits | int64(n.cfg.NodeIndex)
+}
+
+// Clock reads the current occurrence bound without advancing the
+// counter.  The node-index bits are saturated so the result is an
+// upper bound on every occurrence issued anywhere at the current
+// counter value — a trace record stamped with it can never appear to
+// precede an occurrence it already knows about just because of a
+// node-index tiebreak.
+func (n *Node) Clock() int64 {
+	return n.clock.Load()<<nodeBits | int64(MaxNodes-1)
 }
 
 // observeClock folds a received Lamport counter into the local one.
@@ -485,6 +504,18 @@ func (n *Node) acceptLoop() {
 // sending node, then DATA frames, each acknowledged cumulatively on
 // the same connection.
 func (n *Node) serveConn(conn net.Conn) {
+	if n.cfg.Debug != nil {
+		var first [1]byte
+		if _, err := io.ReadFull(conn, first[:]); err != nil {
+			conn.Close()
+			return
+		}
+		if first[0] != 0 {
+			n.serveDebugHTTP(&prefixConn{Conn: conn, pre: []byte{first[0]}})
+			return
+		}
+		conn = &prefixConn{Conn: conn, pre: []byte{first[0]}}
+	}
 	defer conn.Close()
 	cw := newConnWriter(conn, n.cfg.writeTimeout())
 	defer cw.shutdown()

@@ -1,0 +1,165 @@
+// Package check validates decision traces against the protocol
+// invariants every transport must uphold.  The chaos suite runs it on
+// every fault plan's trace; cmd/wftrace runs it on captured JSONL.
+//
+// The invariants are deliberately provable on all three transports —
+// they constrain only what a single site's record stream may claim,
+// plus the Lamport relation between a record and the occurrence it
+// reports:
+//
+//  1. Causal firing: a fire record is preceded (same site and
+//     instance, lower sequence number) by an evaluation of the same
+//     symbol with verdict true or wave, or by a forced attempt — an
+//     event never fires without its guard's enabling knowledge.
+//  2. Terminal uniqueness: per instance, each polarity reaches at most
+//     one terminal verdict (fire or reject), and never fires after its
+//     complement fired.
+//  3. Monotone stamps: within one (site, instance) stream, Lamport
+//     stamps never decrease in sequence order — the emitting clock
+//     only moves forward.
+//  4. Announcement causality: an announcement's Lamport stamp is at
+//     least the occurrence index it reports — no site learns of an
+//     occurrence before the clock that issued it could have reached
+//     that value.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Violation is one invariant breach, tied to the record that exposed
+// it.
+type Violation struct {
+	Invariant string // "causal-fire", "dup-terminal", "lamport-order", "announce-before-occurrence"
+	Record    obs.Record
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s (site=%s inst=%d seq=%d lam=%d)",
+		v.Invariant, v.Detail, v.Record.Site, v.Record.Inst, v.Record.Seq, v.Record.Lamport)
+}
+
+type siteInst struct {
+	site string
+	inst uint32
+}
+
+type symInst struct {
+	sym  string
+	inst uint32
+}
+
+// Trace checks all invariants over a capture (any record order; the
+// per-stream checks order by sequence number internally via a stable
+// pass, so pass Records() output or a merged stream alike).
+func Trace(recs []obs.Record) []Violation {
+	var out []Violation
+
+	// Per-(site,inst) streams in emission order.  Records() yields
+	// ascending Seq per tracer already; a merged multi-node stream may
+	// interleave, so order explicitly.
+	streams := map[siteInst][]obs.Record{}
+	for _, r := range recs {
+		k := siteInst{r.Site, r.Inst}
+		streams[k] = append(streams[k], r)
+	}
+	for _, stream := range streams {
+		sortBySeq(stream)
+	}
+
+	for _, stream := range streams {
+		// 3. Monotone Lamport stamps per (site, instance).
+		lastLam := int64(-1 << 62)
+		// 1. Causal firing: enabling evidence seen so far, per symbol.
+		enabled := map[string]bool{}
+		for _, r := range stream {
+			if r.Lamport < lastLam {
+				out = append(out, Violation{
+					Invariant: "lamport-order",
+					Record:    r,
+					Detail:    fmt.Sprintf("stamp %d after %d", r.Lamport, lastLam),
+				})
+			}
+			lastLam = r.Lamport
+
+			switch r.Kind {
+			case obs.KindAttempt:
+				if r.Verdict == "forced" {
+					enabled[r.Sym] = true
+				}
+			case obs.KindEval:
+				if r.Verdict == "true" || r.Verdict == "wave" {
+					enabled[r.Sym] = true
+				}
+			case obs.KindFire:
+				if !enabled[r.Sym] {
+					out = append(out, Violation{
+						Invariant: "causal-fire",
+						Record:    r,
+						Detail:    fmt.Sprintf("%s fired without prior enabling evaluation", r.Sym),
+					})
+				}
+			case obs.KindAnnounce:
+				// 4. No knowledge of an occurrence before its index.
+				if r.Lamport < r.At {
+					out = append(out, Violation{
+						Invariant: "announce-before-occurrence",
+						Record:    r,
+						Detail:    fmt.Sprintf("%s@%d announced at clock %d", r.Sym, r.At, r.Lamport),
+					})
+				}
+			}
+		}
+	}
+
+	// 2. Terminal uniqueness per (symbol, instance), across sites: an
+	// actor lives at one site, so duplicates within a site are protocol
+	// bugs and duplicates across sites are routing bugs — both count.
+	// A fire of both polarities of one event is the same invariant at
+	// the event level (complement keys carry a "~" prefix).
+	terminal := map[symInst]obs.Record{}
+	fired := map[symInst]bool{}
+	for _, r := range recs {
+		if r.Kind != obs.KindFire && r.Kind != obs.KindReject {
+			continue
+		}
+		k := symInst{r.Sym, r.Inst}
+		if prev, dup := terminal[k]; dup {
+			out = append(out, Violation{
+				Invariant: "dup-terminal",
+				Record:    r,
+				Detail: fmt.Sprintf("%s %s after %s (seq %d)",
+					r.Sym, r.Kind, prev.Kind, prev.Seq),
+			})
+			continue
+		}
+		terminal[k] = r
+		if r.Kind == obs.KindFire {
+			base := symInst{strings.TrimPrefix(r.Sym, "~"), r.Inst}
+			if fired[base] {
+				out = append(out, Violation{
+					Invariant: "dup-terminal",
+					Record:    r,
+					Detail:    fmt.Sprintf("both polarities of %s fired", base.sym),
+				})
+			}
+			fired[base] = true
+		}
+	}
+
+	return out
+}
+
+func sortBySeq(stream []obs.Record) {
+	// Insertion sort: streams arrive nearly sorted (per-tracer emission
+	// order), where this is linear.
+	for i := 1; i < len(stream); i++ {
+		for j := i; j > 0 && stream[j].Seq < stream[j-1].Seq; j-- {
+			stream[j], stream[j-1] = stream[j-1], stream[j]
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// rec builds a record with the fields the checker reads.
+func rec(seq uint64, lam int64, site, kind, sym, verdict string, at int64) obs.Record {
+	return obs.Record{Seq: seq, Lamport: lam, Site: site, Kind: kind,
+		Sym: sym, Verdict: verdict, At: at}
+}
+
+func invariants(vs []Violation) map[string]int {
+	out := map[string]int{}
+	for _, v := range vs {
+		out[v.Invariant]++
+	}
+	return out
+}
+
+func TestCleanTracePasses(t *testing.T) {
+	recs := []obs.Record{
+		rec(0, 0, "a", obs.KindAttempt, "e", "", 0),
+		rec(1, 0, "a", obs.KindEval, "e", "true", 0),
+		rec(2, 1, "a", obs.KindFire, "e", "", 1),
+		rec(3, 1, "b", obs.KindAnnounce, "e", "", 1),
+		rec(4, 1, "b", obs.KindEval, "f", "false", 0),
+		rec(5, 2, "b", obs.KindReject, "f", "guard false", 0),
+	}
+	if vs := Trace(recs); len(vs) != 0 {
+		t.Fatalf("clean trace flagged: %v", vs)
+	}
+}
+
+func TestForcedAttemptEnablesFire(t *testing.T) {
+	recs := []obs.Record{
+		rec(0, 0, "a", obs.KindAttempt, "e", "forced", 0),
+		rec(1, 1, "a", obs.KindFire, "e", "", 1),
+	}
+	if vs := Trace(recs); len(vs) != 0 {
+		t.Fatalf("forced fire flagged: %v", vs)
+	}
+}
+
+func TestWaveVerdictEnablesFire(t *testing.T) {
+	recs := []obs.Record{
+		rec(0, 0, "a", obs.KindEval, "e", "wave", 0),
+		rec(1, 1, "a", obs.KindFire, "e", "", 1),
+	}
+	if vs := Trace(recs); len(vs) != 0 {
+		t.Fatalf("wave-enabled fire flagged: %v", vs)
+	}
+}
+
+func TestFireWithoutEvidence(t *testing.T) {
+	recs := []obs.Record{
+		rec(0, 0, "a", obs.KindEval, "e", "unknown", 0),
+		rec(1, 1, "a", obs.KindFire, "e", "", 1),
+	}
+	if got := invariants(Trace(recs)); got["causal-fire"] != 1 {
+		t.Fatalf("want one causal-fire violation, got %v", got)
+	}
+}
+
+func TestEvidenceIsPerInstance(t *testing.T) {
+	// Evidence in instance 0 must not license a fire in instance 1.
+	recs := []obs.Record{
+		{Seq: 0, Site: "a", Inst: 0, Kind: obs.KindEval, Sym: "e", Verdict: "true"},
+		{Seq: 1, Site: "a", Inst: 1, Kind: obs.KindFire, Sym: "e", At: 1, Lamport: 1},
+	}
+	if got := invariants(Trace(recs)); got["causal-fire"] != 1 {
+		t.Fatalf("cross-instance evidence accepted: %v", got)
+	}
+}
+
+func TestDuplicateTerminal(t *testing.T) {
+	recs := []obs.Record{
+		rec(0, 0, "a", obs.KindEval, "e", "true", 0),
+		rec(1, 1, "a", obs.KindFire, "e", "", 1),
+		rec(2, 2, "a", obs.KindFire, "e", "", 2),
+	}
+	if got := invariants(Trace(recs)); got["dup-terminal"] != 1 {
+		t.Fatalf("want one dup-terminal violation, got %v", got)
+	}
+}
+
+func TestBothPolaritiesFired(t *testing.T) {
+	recs := []obs.Record{
+		rec(0, 0, "a", obs.KindEval, "e", "true", 0),
+		rec(1, 1, "a", obs.KindFire, "e", "", 1),
+		rec(2, 1, "b", obs.KindEval, "~e", "true", 0),
+		rec(3, 2, "b", obs.KindFire, "~e", "", 2),
+	}
+	if got := invariants(Trace(recs)); got["dup-terminal"] != 1 {
+		t.Fatalf("want one dup-terminal (both polarities), got %v", got)
+	}
+}
+
+func TestFireThenComplementReject(t *testing.T) {
+	// One polarity firing and the other being rejected is the normal
+	// resolution, not a violation.
+	recs := []obs.Record{
+		rec(0, 0, "a", obs.KindEval, "e", "true", 0),
+		rec(1, 1, "a", obs.KindFire, "e", "", 1),
+		rec(2, 2, "a", obs.KindReject, "~e", "complement occurred", 0),
+	}
+	if vs := Trace(recs); len(vs) != 0 {
+		t.Fatalf("fire+complement-reject flagged: %v", vs)
+	}
+}
+
+func TestLamportRegression(t *testing.T) {
+	recs := []obs.Record{
+		rec(0, 5, "a", obs.KindEval, "e", "unknown", 0),
+		rec(1, 3, "a", obs.KindEval, "e", "unknown", 0),
+	}
+	if got := invariants(Trace(recs)); got["lamport-order"] != 1 {
+		t.Fatalf("want one lamport-order violation, got %v", got)
+	}
+}
+
+func TestLamportOrderIsPerStream(t *testing.T) {
+	// Different sites (or instances) are separate streams: a lower
+	// stamp on another site is not a regression.
+	recs := []obs.Record{
+		rec(0, 5, "a", obs.KindEval, "e", "unknown", 0),
+		rec(0, 3, "b", obs.KindEval, "f", "unknown", 0),
+	}
+	if vs := Trace(recs); len(vs) != 0 {
+		t.Fatalf("cross-site stamps flagged: %v", vs)
+	}
+}
+
+func TestStreamsOrderedBySeqNotInput(t *testing.T) {
+	// A causally merged stream interleaves sites; the checker must
+	// re-order each stream by Seq before checking monotonicity.
+	recs := []obs.Record{
+		rec(1, 4, "a", obs.KindEval, "e", "unknown", 0),
+		rec(0, 2, "a", obs.KindEval, "e", "unknown", 0),
+	}
+	if vs := Trace(recs); len(vs) != 0 {
+		t.Fatalf("seq-sorted stream flagged: %v", vs)
+	}
+}
+
+func TestAnnounceBeforeOccurrence(t *testing.T) {
+	recs := []obs.Record{
+		{Seq: 0, Lamport: 1, Site: "b", Kind: obs.KindAnnounce, Sym: "e", At: 5},
+	}
+	if got := invariants(Trace(recs)); got["announce-before-occurrence"] != 1 {
+		t.Fatalf("want one announce-before-occurrence violation, got %v", got)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Invariant: "causal-fire", Detail: "e fired early",
+		Record: obs.Record{Site: "a", Inst: 2, Seq: 7, Lamport: 3}}
+	want := "causal-fire: e fired early (site=a inst=2 seq=7 lam=3)"
+	if got := v.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

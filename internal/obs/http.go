@@ -1,0 +1,12 @@
+package obs
+
+import "net/http"
+
+// MetricsHandler serves a registry snapshot as JSON — the body behind
+// /debug/metrics on the wfnet listener.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+}

@@ -1,0 +1,56 @@
+package obs_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoFmtPrintInInternal forbids fmt.Print / Printf / Println in
+// non-test files under internal/.  Library code talks through returned
+// errors, the hooks, or the obs tracer — never by writing to the
+// process's stdout, which the CLIs own.  (The cmd/ mains and test
+// files are exempt.)
+func TestNoFmtPrintInInternal(t *testing.T) {
+	internalRoot, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(internalRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "fmt" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Print", "Printf", "Println":
+				t.Errorf("%s: fmt.%s in internal package (route output through errors, hooks, or obs)",
+					fset.Position(sel.Pos()), sel.Sel.Name)
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector instruments this
+// build; its shadow-memory hooks allocate in instrumented code paths,
+// which breaks allocation-count assertions.
+const raceEnabled = true

@@ -1,0 +1,91 @@
+package obs_test
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/workload"
+
+	// Linked for their metric registrations alone: importing the
+	// instrumented packages is what populates the Default registry.
+	_ "repro/internal/netwire"
+	_ "repro/internal/param"
+)
+
+// registered lists every metric the instrumented packages declare, by
+// name and kind.  A rename or removal must be reflected here (and in
+// README.md's flag matrix) or this test fails.
+var registered = map[string]string{
+	"actor.attempts":          "counter",
+	"actor.announcements":     "counter",
+	"actor.fires":             "counter",
+	"actor.rejects":           "counter",
+	"actor.inquiries":         "counter",
+	"sched.attempts":          "counter",
+	"synth.calls":             "counter",
+	"synth.cache_hits":        "counter",
+	"netwire.retransmits":     "counter",
+	"netwire.queue_depth":     "gauge",
+	"netwire.batch_frames":    "histogram",
+	"engine.instances":        "counter",
+	"engine.instance_us":      "histogram",
+	"param.evals":             "counter",
+	"param.instance_rechecks": "counter",
+}
+
+func TestDefaultRegistryCoverage(t *testing.T) {
+	snap := obs.Default.Snapshot()
+	for name, kind := range registered {
+		m, ok := snap.Get(name)
+		if !ok {
+			t.Errorf("metric %s not registered", name)
+			continue
+		}
+		if m.Kind != kind {
+			t.Errorf("metric %s registered as %s, want %s", name, m.Kind, kind)
+		}
+	}
+}
+
+// TestHotPathsMoveMetrics drives one scheduler run and one engine run
+// and asserts the instrumented counters actually advanced — the
+// instrumentation is wired into the paths it claims to measure.
+func TestHotPathsMoveMetrics(t *testing.T) {
+	before := obs.Default.Snapshot()
+
+	wl := workload.Chain(6, 3)
+	if _, err := sched.Run(wl.Config(sched.Distributed, 1)); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := spec.ParseString(`workflow w
+dep ~b + a . b
+event a site=s1
+event b site=s2
+agent g site=s1
+  step a think=5
+  step b think=10
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Run(sp, engine.Options{Instances: 2, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	diff := obs.Default.Snapshot().Diff(before)
+	for _, name := range []string{
+		"actor.attempts", "actor.announcements", "actor.fires",
+		"sched.attempts", "synth.calls", "engine.instances",
+	} {
+		m, _ := diff.Get(name)
+		if m.Value <= 0 && m.Count <= 0 {
+			t.Errorf("metric %s did not move during the runs", name)
+		}
+	}
+	if m, _ := diff.Get("engine.instance_us"); m.Count != 2 {
+		t.Errorf("engine.instance_us observed %d instances, want 2", m.Count)
+	}
+}

@@ -278,6 +278,7 @@ func (ev *Evaluator) exactShared() bool { return ev.ts != nil && ev.ts.exact }
 // Eval returns the universal verdict at the history's current state,
 // assimilating only the observations since the previous call.
 func (ev *Evaluator) Eval() temporal.Tri {
+	mEvals.Inc()
 	if ev.ts != nil {
 		ev.ts.sync()
 	}
@@ -431,6 +432,7 @@ func (ev *Evaluator) recheck(symKey string) {
 			delete(keys, key)
 			continue
 		}
+		mRechecks.Inc()
 		switch evalFormulaFree(ev.h, inst) {
 		case temporal.True:
 			delete(ev.unknown, key) // discharged: never revisited

@@ -1,0 +1,11 @@
+package param
+
+import "repro/internal/obs"
+
+// Incremental-evaluator metrics: evaluations requested versus the
+// instance rechecks the deltas actually triggered — the ratio is the
+// work the dependency index saves over from-scratch evaluation.
+var (
+	mEvals    = obs.C("param.evals")
+	mRechecks = obs.C("param.instance_rechecks")
+)

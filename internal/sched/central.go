@@ -386,6 +386,7 @@ func (centralSubmitter) DecisionSite(algebra.Symbol) simnet.SiteID { return Cent
 
 func (centralSubmitter) Attempt(n *simnet.Network, origin simnet.SiteID,
 	s algebra.Symbol, forced bool, replyTo simnet.SiteID) {
+	mAttempts.Inc()
 	n.Send(origin, CentralSite, actor.AttemptMsg{Sym: s, Forced: forced, ReplyTo: replyTo})
 }
 

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/actor"
 	"repro/internal/algebra"
@@ -15,7 +16,11 @@ import (
 type siteHost struct {
 	site   simnet.SiteID
 	actors map[string]*actor.Actor // by base-event key
-	agents map[string]*agentRun    // by awaited symbol key
+	// order lists the actor keys sorted; broadcast fan-out must follow
+	// it, never the map, or co-located actors process one delivery in a
+	// different order each run and the replayed Lamport stamps drift.
+	order  []string
+	agents map[string]*agentRun // by awaited symbol key
 }
 
 func newSiteHost(site simnet.SiteID) *siteHost {
@@ -26,13 +31,23 @@ func newSiteHost(site simnet.SiteID) *siteHost {
 	}
 }
 
+// addActor registers an actor under its base-event key, keeping the
+// broadcast order sorted.
+func (h *siteHost) addActor(key string, a *actor.Actor) {
+	h.actors[key] = a
+	i := sort.SearchStrings(h.order, key)
+	h.order = append(h.order, "")
+	copy(h.order[i+1:], h.order[i:])
+	h.order[i] = key
+}
+
 func (h *siteHost) Handle(n *simnet.Network, m simnet.Message) {
 	switch msg := m.Payload.(type) {
 	case actor.AttemptMsg:
 		h.actor(msg.Sym).Handle(n, m)
 	case actor.AnnounceMsg:
-		for _, a := range h.actors {
-			a.Handle(n, m)
+		for _, k := range h.order {
+			h.actors[k].Handle(n, m)
 		}
 	case actor.InquireMsg:
 		h.actor(msg.Target).Handle(n, m)
@@ -41,8 +56,8 @@ func (h *siteHost) Handle(n *simnet.Network, m simnet.Message) {
 	case actor.ReleaseMsg:
 		h.actor(msg.Target).Handle(n, m)
 	case actor.NudgeMsg:
-		for _, a := range h.actors {
-			a.Handle(n, m)
+		for _, k := range h.order {
+			h.actors[k].Handle(n, m)
 		}
 	case actor.DecisionMsg:
 		if ag, ok := h.agents[msg.Sym.Key()]; ok {
@@ -95,13 +110,14 @@ func (d *distributedSubmitter) ensureActor(s algebra.Symbol, origin simnet.SiteI
 	}
 	b := s.Base()
 	d.dir.Place(b, origin)
-	h.actors[b.Key()] = actor.New(b, origin, d.dir, d.hooks,
-		actor.GuardSpec{Guard: temporal.TrueF()}, actor.GuardSpec{Guard: temporal.TrueF()})
+	h.addActor(b.Key(), actor.New(b, origin, d.dir, d.hooks,
+		actor.GuardSpec{Guard: temporal.TrueF()}, actor.GuardSpec{Guard: temporal.TrueF()}))
 	return origin
 }
 
 func (d *distributedSubmitter) Attempt(n *simnet.Network, origin simnet.SiteID,
 	s algebra.Symbol, forced bool, replyTo simnet.SiteID) {
+	mAttempts.Inc()
 	site := d.ensureActor(s, origin)
 	n.Send(origin, site, actor.AttemptMsg{Sym: s, Forced: forced, ReplyTo: replyTo})
 }
@@ -131,7 +147,7 @@ func installDistributed(n *simnet.Network, c *core.Compiled, pl Placement,
 		site := pl.SiteFor(b)
 		a := actor.New(b, site, dir, hooks,
 			guardSpec(c, b, noElim), guardSpec(c, b.Complement(), noElim))
-		host(site).actors[b.Key()] = a
+		host(site).addActor(b.Key(), a)
 		for _, polKey := range []string{b.Key(), b.Complement().Key()} {
 			eg := c.Guards[polKey]
 			if eg == nil {

@@ -1,0 +1,8 @@
+package sched
+
+import "repro/internal/obs"
+
+// mAttempts counts scheduler-submitted attempts (all scheduler kinds),
+// distinct from actor.attempts which counts deliveries: the gap between
+// the two is attempts still in flight.
+var mAttempts = obs.C("sched.attempts")

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -46,6 +47,9 @@ type Config struct {
 	// ActorLog, when set, receives a line per distributed-actor action
 	// (debugging aid).
 	ActorLog func(format string, args ...any)
+	// Tracer receives the distributed actors' decision records; nil
+	// falls back to the process-wide obs.Shared() tracer.
+	Tracer *obs.Tracer
 }
 
 // Run executes the configuration and reports the outcome.
@@ -85,11 +89,19 @@ func RunCompiled(c *core.Compiled, cfg Config) (*Report, error) {
 	switch cfg.Kind {
 	case Distributed, "":
 		sub, hosts = installDistributed(net, c, pl, hooks, cfg.NoConsensusElimination)
-		if cfg.ActorLog != nil {
-			for _, h := range hosts {
-				for _, a := range h.actors {
+		tracer := cfg.Tracer
+		if tracer == nil {
+			tracer = obs.Shared()
+		}
+		// One run = one instance tag, so repeated runs into a shared
+		// capture keep their per-instance invariants separable.
+		inst := tracer.NextInst()
+		for _, h := range hosts {
+			for _, a := range h.actors {
+				if cfg.ActorLog != nil {
 					a.Log = cfg.ActorLog
 				}
+				a.Trace = tracer.Scope(string(a.Site()), inst)
 			}
 		}
 		for _, key := range cfg.Triggerable {

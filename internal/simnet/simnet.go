@@ -121,7 +121,8 @@ type Network struct {
 	// before its predecessors on the same link (head-of-line blocking,
 	// as on a real TCP stream).
 	linkLast map[linkKey]Time
-	// trace optionally receives a line per delivery for debugging.
+	// Trace, when set, observes every delivery in order (debugging and
+	// replay diagnostics).
 	Trace func(m Message)
 }
 
@@ -166,6 +167,9 @@ func (n *Network) NextOccurrence() int64 {
 	n.occurrences++
 	return n.occurrences
 }
+
+// Clock reads the current occurrence bound without advancing it.
+func (n *Network) Clock() int64 { return n.occurrences }
 
 // SetFaultPlan installs a chaos schedule; nil restores the reliable
 // network.  Must be called before the run starts.
