@@ -5,15 +5,16 @@
 #   make race        race-detector suite over the concurrent packages
 #   make tracecheck  golden-replay determinism + trace invariants over the chaos suite
 #   make enginestress  256-instance engine stress under -race, uncached
+#   make crashcheck  WAL kill/restart recovery suite, uncached
 #   make benchsmoke  compile-and-run every benchmark once
 #   make fuzzsmoke   brief run of every fuzz target
 #   make bench       the P* cost benchmarks (informational)
 
 GO ?= go
 
-.PHONY: ci build vet test race enginestress tracecheck bench benchsmoke fuzzsmoke
+.PHONY: ci build vet test race enginestress tracecheck crashcheck bench benchsmoke fuzzsmoke
 
-ci: build vet test race enginestress tracecheck benchsmoke fuzzsmoke
+ci: build vet test race enginestress tracecheck crashcheck benchsmoke fuzzsmoke
 
 build:
 	$(GO) build ./...
@@ -50,6 +51,13 @@ tracecheck:
 	$(GO) test -count=1 -run 'TestGoldenReplay' ./internal/sched
 	$(GO) test -count=1 -run 'TestDifferentialChaos' ./internal/netwire
 
+# The durability gate, always uncached: seeded kill/restart cycles over
+# the WAL-backed mesh (recovered fingerprints must match the simulator
+# oracle, trace invariants must hold across the restart boundary, and
+# no fire may repeat), plus the snapshot-rotate-recover loop.
+crashcheck:
+	$(GO) test -count=1 -run 'TestCrashRestartChaos|TestSnapshotRecovery' ./internal/netwire
+
 # Every benchmark must still compile and survive one iteration; keeps
 # the perf harness from rotting between measurement sessions.
 benchsmoke:
@@ -61,6 +69,7 @@ benchsmoke:
 fuzzsmoke:
 	$(GO) test -run=NONE -fuzz=FuzzDecodePayload -fuzztime=2s ./internal/actor
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=2s ./internal/spec
+	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=2s ./internal/wal
 
 bench:
 	$(GO) test -bench 'BenchmarkP' -benchtime 1x ./...

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wfnet -local n [-timeout d] [-poll d] [-v] file.wf
+//	wfnet -local n [-timeout d] [-poll d] [-wal dir] [-v] file.wf
 //	    Coordinator mode: forks n worker processes of this same binary,
 //	    partitions the spec's sites over them round-robin, and drives
 //	    the workflow from this process (the driver site "ctl").  Worker
@@ -16,7 +16,7 @@
 //	    park without a decision, and once at shutdown.
 //
 //	wfnet -serve -index i -sites s1,s2 [-id name] [-listen addr]
-//	      [-peers site=addr,...] [-v] file.wf
+//	      [-peers site=addr,...] [-wal dir] [-v] file.wf
 //	    Worker mode: hosts the named sites' actors and serves them over
 //	    TCP.  Normally spawned by -local, speaking a line protocol on
 //	    stdin/stdout (ADDR/PEERS/READY/PING/STAT, see below); with
@@ -52,6 +52,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -63,6 +64,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/spec"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -98,6 +100,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	sitesFlag := fs.String("sites", "", "worker mode: comma-separated sites to host")
 	listen := fs.String("listen", "127.0.0.1:0", "worker mode: TCP listen address")
 	peersFlag := fs.String("peers", "", "worker mode: static site=addr,... routing table (skips the PEERS handshake)")
+	walDir := fs.String("wal", "", "write-ahead-log root directory; every process logs under <dir>/<node-id>, and reusing a dir recovers a crashed run")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-attempt quiescence timeout")
 	poll := fs.Duration("poll", 5*time.Millisecond, "quiescence polling interval: the spacing of PING/STAT rounds and the pipelined decision-wait slice")
 	verbose := fs.Bool("v", false, "transport diagnostics on stderr")
@@ -131,10 +134,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	case *serve:
 		return runServe(sp, serveConfig{
 			index: *index, id: *id, sites: *sitesFlag,
-			listen: *listen, peers: *peersFlag, logf: logf,
+			listen: *listen, peers: *peersFlag, wal: *walDir, logf: logf,
 		}, stdin, stdout, stderr)
 	case *local > 0:
-		return runLocal(sp, specPath, *local, *timeout, *poll, *verbose, logf, stdout, stderr)
+		return runLocal(sp, specPath, *local, *timeout, *poll, *walDir, *verbose, logf, stdout, stderr)
 	default:
 		fmt.Fprintln(stderr, "wfnet: need -local n (coordinator) or -serve (worker)")
 		fs.Usage()
@@ -150,6 +153,7 @@ type serveConfig struct {
 	sites  string
 	listen string
 	peers  string
+	wal    string
 	logf   func(string, ...any)
 }
 
@@ -167,8 +171,18 @@ func runServe(sp *spec.Spec, cfg serveConfig, stdin io.Reader, stdout, stderr io
 		fmt.Fprintln(stderr, "wfnet: -serve requires -sites")
 		return 2
 	}
+	var w *wal.Log
+	if cfg.wal != "" {
+		var err error
+		w, err = wal.Open(filepath.Join(cfg.wal, cfg.id), wal.Options{})
+		if err != nil {
+			fmt.Fprintln(stderr, "wfnet:", err)
+			return 1
+		}
+	}
 	node := netwire.NewNode(netwire.Config{
 		ID: cfg.id, ListenAddr: cfg.listen, NodeIndex: cfg.index, Logf: cfg.logf,
+		WAL:   w,
 		Debug: debugMux(),
 	})
 	defer node.Close()
@@ -178,10 +192,10 @@ func runServe(sp *spec.Spec, cfg serveConfig, stdin io.Reader, stdout, stderr io
 		return 1
 	}
 	// Install this worker's actors before announcing the address, so no
-	// frame can arrive ahead of its handler.
-	if _, err := arun.New(node, sp, arun.Options{
-		Hosted: func(s simnet.SiteID) bool { return hosted[s] },
-	}); err != nil {
+	// frame can arrive ahead of its handler.  A non-empty WAL means this
+	// worker is being restarted after a crash: replay it through the
+	// freshly built actors before the node starts talking to peers.
+	if err := installActors(node, sp, func(s simnet.SiteID) bool { return hosted[s] }); err != nil {
 		fmt.Fprintln(stderr, "wfnet:", err)
 		return 1
 	}
@@ -224,6 +238,23 @@ func runServe(sp *spec.Spec, cfg serveConfig, stdin io.Reader, stdout, stderr io
 	}
 	// EOF: the coordinator is done with us.
 	return 0
+}
+
+// installActors builds the hosted actors on a transport, replaying the
+// node's WAL through them first when it holds a crashed run's state.
+// Both paths register every handler before the transport starts.
+func installActors(tr arun.Transport, sp *spec.Spec, hosted func(simnet.SiteID) bool) error {
+	rec, ok := tr.(netwire.Recoverer)
+	if ok && rec.NeedsRecovery() {
+		plan, err := arun.NewPlan(sp, arun.PlanOptions{Observe: true})
+		if err != nil {
+			return err
+		}
+		_, err = plan.Resume(tr, arun.RunnerOptions{Hosted: hosted})
+		return err
+	}
+	_, err := arun.New(tr, sp, arun.Options{Hosted: hosted})
+	return err
 }
 
 func parsePeers(kvs []string) (map[simnet.SiteID]string, error) {
@@ -304,7 +335,18 @@ func (c *cluster) Register(site simnet.SiteID, h func(n actor.Net, payload any))
 	c.node.Register(site, h)
 }
 
-var _ arun.Transport = (*cluster)(nil)
+// Recovery and snapshots delegate to the coordinator's own node; the
+// workers recover their own WALs independently in runServe.
+func (c *cluster) NeedsRecovery() bool                     { return c.node.NeedsRecovery() }
+func (c *cluster) Recover(host netwire.RecoveryHost) error { return c.node.Recover(host) }
+func (c *cluster) SetSnapshotProvider(fn func(simnet.SiteID) ([]byte, error)) {
+	c.node.SetSnapshotProvider(fn)
+}
+
+var (
+	_ arun.Transport    = (*cluster)(nil)
+	_ netwire.Recoverer = (*cluster)(nil)
+)
 
 // WaitIdle establishes cluster-wide quiescence: every process reports
 // zero pending work and an unmoved delivery counter for two consecutive
@@ -378,7 +420,7 @@ func slicesEqual(a, b []int64) bool {
 }
 
 func runLocal(sp *spec.Spec, specPath string, n int, timeout, poll time.Duration,
-	verbose bool, logf func(string, ...any), stdout, stderr io.Writer) int {
+	walDir string, verbose bool, logf func(string, ...any), stdout, stderr io.Writer) int {
 	sites := arun.Sites(sp)
 	if len(sites) == 0 {
 		fmt.Fprintln(stderr, "wfnet: spec has no sites")
@@ -387,8 +429,18 @@ func runLocal(sp *spec.Spec, specPath string, n int, timeout, poll time.Duration
 	if n > len(sites) {
 		n = len(sites)
 	}
+	var w *wal.Log
+	if walDir != "" {
+		var err error
+		w, err = wal.Open(filepath.Join(walDir, string(arun.DefaultDriver)), wal.Options{})
+		if err != nil {
+			fmt.Fprintln(stderr, "wfnet:", err)
+			return 1
+		}
+	}
 	node := netwire.NewNode(netwire.Config{
 		ID: string(arun.DefaultDriver), ListenAddr: "127.0.0.1:0", NodeIndex: 0, Logf: logf,
+		WAL:   w,
 		Debug: debugMux(),
 	})
 	addr0, err := node.Listen()
@@ -420,6 +472,9 @@ func runLocal(sp *spec.Spec, specPath string, n int, timeout, poll time.Duration
 			"-index", strconv.Itoa(j + 1),
 			"-sites", strings.Join(names, ","),
 			specPath}
+		if walDir != "" {
+			args = append([]string{"-wal", walDir}, args...)
+		}
 		if verbose {
 			args = append([]string{"-v"}, args...)
 		}
@@ -460,13 +515,30 @@ func runLocal(sp *spec.Spec, specPath string, n int, timeout, poll time.Duration
 	// Install the driver's observer before any worker can send.  The
 	// drive is pipelined: each attempt completes on its own decision
 	// arriving at the driver, and the PING/STAT quiescence protocol is
-	// consulted only for parked attempts and the final settle.
-	r, err := arun.New(cl, sp, arun.Options{
-		Hosted:       func(s simnet.SiteID) bool { return s == arun.DefaultDriver },
-		IdleTimeout:  timeout,
-		Pipelined:    true,
-		PollInterval: poll,
-	})
+	// consulted only for parked attempts and the final settle.  With a
+	// non-empty coordinator WAL this is a restart: the driver's own log
+	// replays through the fresh observer before the node goes live.
+	var r *arun.Runner
+	if cl.NeedsRecovery() {
+		plan, perr := arun.NewPlan(sp, arun.PlanOptions{Observe: true})
+		if perr == nil {
+			r, err = plan.Resume(cl, arun.RunnerOptions{
+				Hosted:       func(s simnet.SiteID) bool { return s == arun.DefaultDriver },
+				IdleTimeout:  timeout,
+				Pipelined:    true,
+				PollInterval: poll,
+			})
+		} else {
+			err = perr
+		}
+	} else {
+		r, err = arun.New(cl, sp, arun.Options{
+			Hosted:       func(s simnet.SiteID) bool { return s == arun.DefaultDriver },
+			IdleTimeout:  timeout,
+			Pipelined:    true,
+			PollInterval: poll,
+		})
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "wfnet:", err)
 		return 1

@@ -13,11 +13,17 @@
 // (internal/engine): compiled once, driven in parallel, reported as
 // aggregate throughput.  Supported for the sim and net transports.
 //
+// With -wal dir (net transport) every node appends announcements and
+// verdicts to a write-ahead log under dir/<site> before acting on
+// them; rerunning with the same directory recovers a crashed run from
+// the logs and resumes it.
+//
 // Usage:
 //
 //	wfrun [-transport sim|live|net]
 //	      [-sched distributed|central-residuation|central-automata|all]
 //	      [-instances n] [-workers n]
+//	      [-wal dir] [-walnosync] [-walcheckpoint d]
 //	      [-seed n] [-decisions] [-trace out.jsonl] [file.wf]
 package main
 
@@ -44,6 +50,9 @@ func main() {
 	seed := flag.Int64("seed", 1996, "simulation seed")
 	showDecisions := flag.Bool("decisions", false, "print every decision")
 	traceOut := flag.String("trace", "", "capture the decision trace to a JSONL file (analyze with wftrace)")
+	walDir := flag.String("wal", "", "write-ahead-log root directory (net transport); reuse a dir to recover a crashed run")
+	walNoSync := flag.Bool("walnosync", false, "skip fsync on WAL flushes (fast, loses the durability guarantee)")
+	walCkpt := flag.Duration("walcheckpoint", 0, "periodic WAL watermark checkpoint interval (0 = off)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -55,19 +64,30 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, os.Stdout, *transport, *kindFlag, *instances, *workers, *seed, *showDecisions, *traceOut); err != nil {
+	wal := walOpts{Dir: *walDir, NoSync: *walNoSync, Checkpoint: *walCkpt}
+	if err := run(in, os.Stdout, *transport, *kindFlag, *instances, *workers, *seed, *showDecisions, *traceOut, wal); err != nil {
 		fatal(err)
 	}
+}
+
+// walOpts bundles the durability flags.
+type walOpts struct {
+	Dir        string
+	NoSync     bool
+	Checkpoint time.Duration
 }
 
 // run executes the spec read from in on the requested transport and
 // scheduler(s) and writes the report to out.  A non-empty traceOut
 // enables full decision-trace capture on the process-wide tracer and
 // writes the causally ordered stream there afterwards.
-func run(in io.Reader, out io.Writer, transport, kindFlag string, instances, workers int, seed int64, showDecisions bool, traceOut string) error {
+func run(in io.Reader, out io.Writer, transport, kindFlag string, instances, workers int, seed int64, showDecisions bool, traceOut string, wal walOpts) error {
 	s, err := spec.Parse(in)
 	if err != nil {
 		return err
+	}
+	if wal.Dir != "" && transport != "net" {
+		return fmt.Errorf("-wal needs the net transport, not %q", transport)
 	}
 	if traceOut != "" {
 		obs.Shared().Reset()
@@ -75,13 +95,13 @@ func run(in io.Reader, out io.Writer, transport, kindFlag string, instances, wor
 	}
 	switch {
 	case instances > 1:
-		err = runEngine(s, out, transport, instances, workers, seed)
+		err = runEngine(s, out, transport, instances, workers, seed, wal)
 	default:
 		switch transport {
 		case "", "sim":
 			err = runSim(s, out, kindFlag, seed, showDecisions)
 		case "live", "net":
-			err = runAsync(s, out, transport, seed)
+			err = runAsync(s, out, transport, seed, wal)
 		default:
 			err = fmt.Errorf("unknown transport %q (want sim, live, or net)", transport)
 		}
@@ -111,7 +131,7 @@ func writeTrace(path string, recs []obs.Record) error {
 
 // runEngine executes many concurrent instances through the
 // multi-instance engine and reports aggregate throughput.
-func runEngine(s *spec.Spec, out io.Writer, transport string, instances, workers int, seed int64) error {
+func runEngine(s *spec.Spec, out io.Writer, transport string, instances, workers int, seed int64, wal walOpts) error {
 	var mode engine.Mode
 	switch transport {
 	case "", "sim":
@@ -123,6 +143,7 @@ func runEngine(s *spec.Spec, out io.Writer, transport string, instances, workers
 	}
 	res, err := engine.Run(s, engine.Options{
 		Instances: instances, Workers: workers, Mode: mode, Seed: seed,
+		WALRoot: wal.Dir, WALNoSync: wal.NoSync, CheckpointEvery: wal.Checkpoint,
 	})
 	if err != nil {
 		return err
@@ -184,27 +205,62 @@ func runSim(s *spec.Spec, out io.Writer, kindFlag string, seed int64, showDecisi
 
 // runAsync executes on an asynchronous transport through the arun
 // driver (always the distributed per-event-actor scheduler).
-func runAsync(s *spec.Spec, out io.Writer, transport string, seed int64) error {
-	var tr arun.Transport
+func runAsync(s *spec.Spec, out io.Writer, transport string, seed int64, wal walOpts) error {
+	_ = seed // asynchronous transports have no seedable schedule
+	var (
+		tr        arun.Transport
+		r         *arun.Runner
+		recovered bool
+		err       error
+	)
 	switch transport {
 	case "live":
 		tr = arun.NewLiveTransport()
 	case "net":
-		mesh, err := netwire.NewMesh(arun.DefaultDriver, arun.Sites(s), nil)
+		mesh, merr := netwire.NewMeshOpts(arun.DefaultDriver, arun.Sites(s), netwire.MeshOptions{
+			WALRoot: wal.Dir, NoSync: wal.NoSync, CheckpointEvery: wal.Checkpoint,
+			DeferStart: wal.Dir != "",
+		})
+		if merr != nil {
+			return merr
+		}
+		tr = mesh
+		if wal.Dir != "" {
+			// A reused WAL directory resumes the crashed run: rebuild the
+			// actors, replay the logs through them, then start the mesh
+			// and let Run re-drive the schedule idempotently.
+			plan, perr := arun.NewPlan(s, arun.PlanOptions{Driver: arun.DefaultDriver, Observe: true})
+			if perr != nil {
+				mesh.Close()
+				return perr
+			}
+			opt := arun.RunnerOptions{IdleTimeout: 30 * time.Second}
+			if mesh.NeedsRecovery() {
+				r, err = plan.Resume(mesh, opt)
+				recovered = true
+			} else {
+				r, err = plan.NewRunner(mesh, opt)
+			}
+			if err != nil {
+				mesh.Close()
+				return err
+			}
+			mesh.Start()
+		}
+	}
+	defer tr.Close()
+	if r == nil {
+		r, err = arun.New(tr, s, arun.Options{IdleTimeout: 30 * time.Second})
 		if err != nil {
 			return err
 		}
-		tr = mesh
-	}
-	defer tr.Close()
-	_ = seed // asynchronous transports have no seedable schedule
-	r, err := arun.New(tr, s, arun.Options{IdleTimeout: 30 * time.Second})
-	if err != nil {
-		return err
 	}
 	o, err := r.Run()
 	if err != nil {
 		return err
+	}
+	if recovered {
+		fmt.Fprintf(out, "(recovered from WAL at %s)\n", wal.Dir)
 	}
 	fmt.Fprintf(out, "== distributed over %s ==\n", transport)
 	fmt.Fprintf(out, "trace:     %v\n", o.Trace)

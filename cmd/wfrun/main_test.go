@@ -14,7 +14,7 @@ func TestRunAllSchedulers(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer
-		if err := run(f, &out, "sim", "all", 1, 0, 1996, true, ""); err != nil {
+		if err := run(f, &out, "sim", "all", 1, 0, 1996, true, "", walOpts{}); err != nil {
 			t.Fatalf("%s: %v", file, err)
 		}
 		f.Close()
@@ -45,7 +45,7 @@ func TestRunAsyncTransports(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer
-		err = run(f, &out, transport, "distributed", 1, 0, 1, false, "")
+		err = run(f, &out, transport, "distributed", 1, 0, 1, false, "", walOpts{})
 		f.Close()
 		if err != nil {
 			t.Fatalf("%s: %v", transport, err)
@@ -72,7 +72,7 @@ func TestRunEngineInstances(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer
-		err = run(f, &out, transport, "distributed", 16, 4, 1996, false, "")
+		err = run(f, &out, transport, "distributed", 16, 4, 1996, false, "", walOpts{})
 		f.Close()
 		if err != nil {
 			t.Fatalf("%s: %v", transport, err)
@@ -89,20 +89,20 @@ func TestRunEngineInstances(t *testing.T) {
 		}
 	}
 	var out bytes.Buffer
-	if err := run(strings.NewReader("dep ~a + b"), &out, "live", "distributed", 2, 0, 1, false, ""); err == nil {
+	if err := run(strings.NewReader("dep ~a + b"), &out, "live", "distributed", 2, 0, 1, false, "", walOpts{}); err == nil {
 		t.Fatal("-instances over the live transport must error")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("nonsense"), &out, "sim", "distributed", 1, 0, 1, false, ""); err == nil {
+	if err := run(strings.NewReader("nonsense"), &out, "sim", "distributed", 1, 0, 1, false, "", walOpts{}); err == nil {
 		t.Fatal("bad spec must error")
 	}
-	if err := run(strings.NewReader("dep ~a + b"), &out, "sim", "warp", 1, 0, 1, false, ""); err == nil {
+	if err := run(strings.NewReader("dep ~a + b"), &out, "sim", "warp", 1, 0, 1, false, "", walOpts{}); err == nil {
 		t.Fatal("unknown scheduler must error")
 	}
-	if err := run(strings.NewReader("dep ~a + b"), &out, "carrier-pigeon", "distributed", 1, 0, 1, false, ""); err == nil {
+	if err := run(strings.NewReader("dep ~a + b"), &out, "carrier-pigeon", "distributed", 1, 0, 1, false, "", walOpts{}); err == nil {
 		t.Fatal("unknown transport must error")
 	}
 }

@@ -1073,6 +1073,12 @@ func (a *Actor) tryFire(n Net, p *polarity) {
 
 func (a *Actor) fire(n Net, p *polarity) {
 	at := n.NextOccurrence()
+	// Journal before any send: the transport withholds announcement
+	// frames until their log records — and transitively this fire
+	// record — are durable.
+	if j, ok := n.(Journal); ok {
+		j.JournalFire(a.site, p.sym.Key(), at)
+	}
 	p.occurred = true
 	p.fireReady = false
 	p.at = at
@@ -1115,6 +1121,9 @@ func (a *Actor) reject(n Net, p *polarity, reason string) {
 	}
 	p.rejected = true
 	p.fireReady = false
+	if j, ok := n.(Journal); ok {
+		j.JournalReject(a.site, p.sym.Key(), reason)
+	}
 	a.endRound(n, p)
 	a.settleClaims(n, p, false)
 	a.logf("REJECT %s: %s", p.sym, reason)

@@ -184,6 +184,29 @@ type RunnerOptions struct {
 // registers hooks on its actors and observes fires and decisions
 // in-process.
 func (p *Plan) NewRunner(tr Transport, opt RunnerOptions) (*Runner, error) {
+	b, err := p.build(tr, opt, false)
+	if err != nil {
+		return nil, err
+	}
+	return b.r, nil
+}
+
+// runnerBuild is the intermediate state NewRunner and Resume share:
+// the runner plus the host map Resume needs for state restoration and
+// deferred trace-scope attachment.
+type runnerBuild struct {
+	r      *Runner
+	hosts  map[simnet.SiteID]*siteHost
+	tracer *obs.Tracer
+	inst   uint32
+}
+
+// build constructs a runner and its hosted actors and registers every
+// handler on the transport.  With quietTrace, actors start with nil
+// trace scopes — Resume replays the WAL through them first (replayed
+// protocol steps were traced in the pre-crash run and must not be
+// re-emitted) and attaches the scopes afterwards.
+func (p *Plan) build(tr Transport, opt RunnerOptions, quietTrace bool) (*runnerBuild, error) {
 	hosted := opt.Hosted
 	if hosted == nil {
 		hosted = func(simnet.SiteID) bool { return true }
@@ -226,7 +249,9 @@ func (p *Plan) NewRunner(tr Transport, opt RunnerOptions) (*Runner, error) {
 		return h
 	}
 	attach := func(a *actor.Actor) *actor.Actor {
-		a.Trace = tracer.Scope(string(a.Site()), opt.Instance)
+		if !quietTrace {
+			a.Trace = tracer.Scope(string(a.Site()), opt.Instance)
+		}
 		return a
 	}
 	for _, b := range p.bases {
@@ -262,7 +287,11 @@ func (p *Plan) NewRunner(tr Transport, opt RunnerOptions) (*Runner, error) {
 	if p.observe && hosted(p.driver) {
 		tr.Register(p.driver, r.onDriverMsg)
 	}
-	return r, nil
+	b := &runnerBuild{r: r, hosts: hosts, tracer: tracer, inst: opt.Instance}
+	if sp, ok := tr.(snapshotable); ok {
+		sp.SetSnapshotProvider(b.exportSite)
+	}
+	return b, nil
 }
 
 // Scratch is the recyclable per-run observation state: internal/engine

@@ -101,6 +101,7 @@ func All() []Experiment {
 		{"P10", P10, "transport comparison: simnet vs livenet vs netwire"},
 		{"P11", P11, "multi-instance engine throughput vs serial quiescence"},
 		{"P12", P12, "tracing overhead: disabled vs ring vs full capture"},
+		{"P13", P13, "WAL durability overhead: off vs on vs on+checkpoint"},
 	}
 }
 

@@ -90,6 +90,18 @@ type Options struct {
 	// Tracer receives every instance's decision records, tagged with
 	// the instance ID; nil falls back to obs.Shared().
 	Tracer *obs.Tracer
+	// WALRoot, on ModeNet, gives every mesh node a write-ahead log
+	// under WALRoot/<site> — the P13 durability-overhead measurement
+	// knob.  Multi-instance replay recovery is not supported: the log
+	// records durability costs (and watermark checkpoints when
+	// CheckpointEvery is set) but a crashed engine run is re-run, not
+	// resumed.
+	WALRoot string
+	// WALNoSync skips per-batch fsync in WAL mode.
+	WALNoSync bool
+	// CheckpointEvery enables periodic watermark checkpoints per node
+	// in WAL mode.
+	CheckpointEvery time.Duration
 }
 
 // Result aggregates an engine run.
@@ -109,6 +121,10 @@ type Result struct {
 	// on ModeNet (zero on ModeSim): batch frames written and the
 	// logical DATA records they carried.
 	Batches, BatchedFrames int64
+	// WALSyncs counts completed fsync batches across the mesh's node
+	// logs (zero without WALRoot): appends/WALSyncs is the achieved
+	// group-commit width.
+	WALSyncs int64
 }
 
 // InstancesPerSec is the headline throughput rate.
@@ -152,7 +168,7 @@ func Run(sp *spec.Spec, opt Options) (*Result, error) {
 
 	var eng *netEngine
 	if opt.Mode == ModeNet {
-		eng, err = newNetEngine(plan, opt.Fault)
+		eng, err = newNetEngine(plan, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -205,6 +221,7 @@ func Run(sp *spec.Spec, opt Options) (*Result, error) {
 	}
 	if eng != nil {
 		res.Batches, res.BatchedFrames = eng.mesh.BatchStats()
+		res.WALSyncs = eng.mesh.WALSyncs()
 	}
 	if opt.KeepOutcomes {
 		res.Outcomes = outcomes
@@ -295,8 +312,13 @@ type netEngine struct {
 	instances map[uint32]*instance
 }
 
-func newNetEngine(plan *arun.Plan, fp *simnet.FaultPlan) (*netEngine, error) {
-	mesh, err := netwire.NewMesh(arun.DefaultDriver, plan.Sites(), fp)
+func newNetEngine(plan *arun.Plan, opt Options) (*netEngine, error) {
+	mesh, err := netwire.NewMeshOpts(arun.DefaultDriver, plan.Sites(), netwire.MeshOptions{
+		Fault:           opt.Fault,
+		WALRoot:         opt.WALRoot,
+		NoSync:          opt.WALNoSync,
+		CheckpointEvery: opt.CheckpointEvery,
+	})
 	if err != nil {
 		return nil, err
 	}

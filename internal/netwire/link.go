@@ -1,12 +1,15 @@
 package netwire
 
 import (
+	"hash/fnv"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"repro/internal/actor"
 	"repro/internal/simnet"
+	"repro/internal/wal"
 )
 
 // link is the reliable outbound channel to one remote node: an
@@ -29,6 +32,12 @@ type link struct {
 
 	wake   chan struct{} // capacity 1: new frame or ack progress
 	closed chan struct{}
+
+	// rng drives reconnect jitter.  Seeded deterministically from the
+	// fault-plan seed, the node index, and the remote address so seeded
+	// chaos runs reproduce their backoff schedules; used only by the
+	// run goroutine.
+	rng *rand.Rand
 }
 
 // outFrame is one queued payload; the DATA frame bytes are rebuilt per
@@ -39,15 +48,33 @@ type outFrame struct {
 	payload  []byte  // actor wire encoding
 	pbuf     *[]byte // pooled buffer backing payload, nil if unpooled
 	attempts int     // transmissions tried (session goroutine only)
+	// lsn is the frame's WAL record (0 = already durable): the session
+	// withholds the frame until the log catches up, so nothing a peer
+	// sees can be lost in a crash.
+	lsn uint64
 }
 
 func newLink(n *Node, addr string) *link {
+	var seed int64
+	if fp := n.cfg.Fault; fp != nil {
+		seed = fp.Seed
+	}
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	seed ^= int64(h.Sum64()) ^ int64(n.cfg.NodeIndex)<<40
 	return &link{
 		node:   n,
 		addr:   addr,
 		wake:   make(chan struct{}, 1),
 		closed: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
 	}
+}
+
+// jitter returns d scaled by a uniform factor in [0.5, 1.5): desynced
+// reconnect storms, reproducible under a seeded fault plan.
+func (l *link) jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(l.rng.Int63n(int64(d)))
 }
 
 // enqueue appends a frame to the unacked queue and wakes the sender.
@@ -56,7 +83,18 @@ func newLink(n *Node, addr string) *link {
 func (l *link) enqueue(from, to simnet.SiteID, payload []byte, pbuf *[]byte) {
 	l.mu.Lock()
 	l.nextSeq++
-	l.frames = append(l.frames, &outFrame{seq: l.nextSeq, from: from, to: to, payload: payload, pbuf: pbuf})
+	f := &outFrame{seq: l.nextSeq, from: from, to: to, payload: payload, pbuf: pbuf}
+	if w := l.node.wal; w != nil {
+		// Logged under the link lock so LSN order matches sequence
+		// order — the session's first-undurable-frame cut is then a
+		// clean go-back-N prefix.  Append copies the payload, so the
+		// pooled buffer lifecycle is unchanged.
+		f.lsn = w.Append(wal.Record{
+			Kind: wal.KOut, Site: string(from), Site2: string(to),
+			Seq: f.seq, Payload: payload,
+		})
+	}
+	l.frames = append(l.frames, f)
 	l.mu.Unlock()
 	mQueueDepth.Add(1)
 	l.signal()
@@ -82,6 +120,7 @@ func (l *link) close() {
 func (l *link) ack(upTo uint64) {
 	l.mu.Lock()
 	pruned := 0
+	var prunedMax map[simnet.SiteID]uint64
 	for len(l.frames) > 0 && l.frames[0].seq <= upTo {
 		f := l.frames[0]
 		l.frames = l.frames[1:]
@@ -91,12 +130,28 @@ func (l *link) ack(upTo uint64) {
 			l.spent = append(l.spent, f.pbuf)
 			f.pbuf = nil
 		}
+		if l.node.wal != nil {
+			if prunedMax == nil {
+				prunedMax = map[simnet.SiteID]uint64{}
+			}
+			if f.seq > prunedMax[f.to] {
+				prunedMax[f.to] = f.seq
+			}
+		}
 		pruned++
 	}
 	if upTo > l.acked {
 		l.acked = upTo
 	}
 	l.mu.Unlock()
+	if w := l.node.wal; w != nil {
+		// Record ack progress per destination site so recovery skips
+		// retransmitting pruned frames.  No durability wait: losing an
+		// ack record only causes a retransmission the receiver dedups.
+		for to, seq := range prunedMax {
+			w.Append(wal.Record{Kind: wal.KAck, Site2: string(to), Seq: seq})
+		}
+	}
 	for i := 0; i < pruned; i++ {
 		l.node.pend.Done()
 	}
@@ -122,7 +177,7 @@ func (l *link) run() {
 			select {
 			case <-l.closed:
 				return
-			case <-time.After(jitter(backoff)):
+			case <-time.After(l.jitter(backoff)):
 			}
 			backoff = min(backoff*2, l.node.cfg.retryMax())
 			continue
@@ -193,10 +248,21 @@ func (l *link) session(conn net.Conn) {
 			prevAcked = l.acked
 			rto = l.node.cfg.retryMin()
 		}
+		var durable uint64
+		if w := l.node.wal; w != nil {
+			durable = w.Durable()
+		}
 		for _, f := range l.frames {
-			if f.seq >= nextSend {
-				toSend = append(toSend, f)
+			if f.seq < nextSend {
+				continue
 			}
+			if f.lsn > durable {
+				// Not yet durable: stop at the first gap — go-back-N
+				// needs in-order transmission, and the durable-advance
+				// callback will wake us to send the rest.
+				break
+			}
+			toSend = append(toSend, f)
 		}
 		if len(toSend) > 0 {
 			nextSend = toSend[len(toSend)-1].seq + 1

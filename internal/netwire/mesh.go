@@ -1,11 +1,14 @@
 package netwire
 
 import (
+	"fmt"
+	"path/filepath"
 	"sort"
 	"time"
 
 	"repro/internal/actor"
 	"repro/internal/simnet"
+	"repro/internal/wal"
 )
 
 // Mesh is an in-process cluster of Nodes — one per site — connected
@@ -14,15 +17,41 @@ import (
 // exercises the full transport without forking processes; cmd/wfnet
 // runs the same Node code with the sites spread across OS processes.
 type Mesh struct {
-	driver simnet.SiteID
-	nodes  map[simnet.SiteID]*Node
-	order  []simnet.SiteID
+	driver  simnet.SiteID
+	nodes   map[simnet.SiteID]*Node
+	order   []simnet.SiteID
+	peers   map[simnet.SiteID]string
+	started bool
+}
+
+// MeshOptions configure durability and lifecycle beyond the plain
+// fault-injected mesh.
+type MeshOptions struct {
+	// Fault, when set, is applied to every node's outbound frames.
+	Fault *simnet.FaultPlan
+	// WALRoot, when non-empty, gives every node a WAL in
+	// WALRoot/<site>; reusing a root across mesh constructions is how a
+	// crashed mesh recovers.
+	WALRoot string
+	// NoSync / Batch are passed to each node's wal.Options.
+	NoSync bool
+	Batch  time.Duration
+	// CheckpointEvery enables periodic watermark checkpoints per node.
+	CheckpointEvery time.Duration
+	// DeferStart leaves the nodes bound but not started, so the caller
+	// can run Recover between Register and Start.
+	DeferStart bool
 }
 
 // NewMesh builds, binds, and starts one node per site (plus the driver
 // site) on loopback.  Node indices — and therefore occurrence-index
 // tiebreaks — follow the sorted site order, deterministically.
 func NewMesh(driver simnet.SiteID, sites []simnet.SiteID, fp *simnet.FaultPlan) (*Mesh, error) {
+	return NewMeshOpts(driver, sites, MeshOptions{Fault: fp})
+}
+
+// NewMeshOpts is NewMesh with durability and lifecycle options.
+func NewMeshOpts(driver simnet.SiteID, sites []simnet.SiteID, opts MeshOptions) (*Mesh, error) {
 	seen := map[simnet.SiteID]bool{driver: true}
 	all := []simnet.SiteID{driver}
 	for _, s := range sites {
@@ -36,11 +65,24 @@ func NewMesh(driver simnet.SiteID, sites []simnet.SiteID, fp *simnet.FaultPlan) 
 	m := &Mesh{driver: driver, nodes: make(map[simnet.SiteID]*Node, len(all)), order: all}
 	peers := make(map[simnet.SiteID]string, len(all))
 	for i, site := range all {
+		var w *wal.Log
+		if opts.WALRoot != "" {
+			var err error
+			w, err = wal.Open(filepath.Join(opts.WALRoot, string(site)), wal.Options{
+				NoSync: opts.NoSync, Batch: opts.Batch,
+			})
+			if err != nil {
+				m.Close()
+				return nil, err
+			}
+		}
 		n := NewNode(Config{
 			ID:         string(site),
 			ListenAddr: "127.0.0.1:0",
 			NodeIndex:  i,
-			Fault:      fp,
+			Fault:      opts.Fault,
+			WAL:        w,
+			CheckpointEvery: opts.CheckpointEvery,
 			// Loopback links fail fast and cheap; snappy retry bounds
 			// keep fault recovery (and the chaos suite) quick.
 			RetryMin: 5 * time.Millisecond,
@@ -48,16 +90,73 @@ func NewMesh(driver simnet.SiteID, sites []simnet.SiteID, fp *simnet.FaultPlan) 
 		})
 		addr, err := n.Listen()
 		if err != nil {
+			n.Close()
 			m.Close()
 			return nil, err
 		}
 		m.nodes[site] = n
 		peers[site] = addr
 	}
-	for _, n := range m.nodes {
-		n.Start(peers)
+	m.peers = peers
+	if !opts.DeferStart {
+		m.Start()
 	}
 	return m, nil
+}
+
+// Start starts every node (idempotent).  With DeferStart, call it
+// after Recover.
+func (m *Mesh) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	for _, site := range m.order {
+		m.nodes[site].Start(m.peers)
+	}
+}
+
+// NeedsRecovery reports whether any node's WAL holds state to restore.
+func (m *Mesh) NeedsRecovery() bool {
+	for _, n := range m.nodes {
+		if n.NeedsRecovery() {
+			return true
+		}
+	}
+	return false
+}
+
+// Recover replays every node's WAL (sorted site order, before Start).
+func (m *Mesh) Recover(host RecoveryHost) error {
+	for _, site := range m.order {
+		if n := m.nodes[site]; n.NeedsRecovery() {
+			if err := n.Recover(host); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SetSnapshotProvider installs the per-site state serializer on every
+// node.
+func (m *Mesh) SetSnapshotProvider(fn func(simnet.SiteID) ([]byte, error)) {
+	for _, n := range m.nodes {
+		n.SetSnapshotProvider(fn)
+	}
+}
+
+// Snapshot quiesces the mesh and compacts every node's WAL.
+func (m *Mesh) Snapshot(timeout time.Duration) error {
+	if !m.WaitIdle(timeout) {
+		return fmt.Errorf("netwire: snapshot: mesh not quiescent after %v", timeout)
+	}
+	for _, site := range m.order {
+		if err := m.nodes[site].Snapshot(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Register hosts a site's handler on that site's node.
@@ -112,6 +211,16 @@ func (m *Mesh) BatchStats() (batches, frames int64) {
 		frames += f
 	}
 	return batches, frames
+}
+
+// WALSyncs sums completed fsync batches over all node logs (zero on a
+// volatile mesh) — the group-commit amortization P13 reports.
+func (m *Mesh) WALSyncs() int64 {
+	var total int64
+	for _, n := range m.nodes {
+		total += n.WALSyncs()
+	}
+	return total
 }
 
 // Node returns the node hosting a site (nil if the site is unknown).

@@ -39,7 +39,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"net/http"
 	"sync"
@@ -49,6 +48,7 @@ import (
 	"repro/internal/actor"
 	"repro/internal/quiesce"
 	"repro/internal/simnet"
+	"repro/internal/wal"
 )
 
 // Frame layer constants.
@@ -102,6 +102,19 @@ type Config struct {
 	RetryMin, RetryMax time.Duration
 	// WriteTimeout bounds each frame write (default 5s).
 	WriteTimeout time.Duration
+	// WAL, when set, makes the node durable: inbound deliveries,
+	// outbound frames, acknowledgement watermarks, and verdict
+	// transitions are logged, deliveries are processed only once their
+	// log record is on disk, and outbound frames are withheld until
+	// their records (and the fire records they announce) are durable.
+	// The node owns the log and closes it on Close.
+	WAL *wal.Log
+	// CheckpointEvery, when positive in WAL mode, appends a periodic
+	// watermark checkpoint record (Lamport clock, per-peer delivery
+	// watermarks, per-link ack progress) so recovery of a long run
+	// starts from recent maxima instead of zero.  Checkpoints are
+	// monotone folds — no truncation, unlike snapshots.
+	CheckpointEvery time.Duration
 	// Logf, when set, receives transport diagnostics.
 	Logf func(format string, args ...any)
 	// Debug, when set, serves HTTP on the node's own listener: inbound
@@ -152,6 +165,16 @@ type Node struct {
 	recvs  map[string]*recvPeer // by remote node id
 	closed bool
 
+	// wal is Config.WAL (nil = volatile node); replay is non-nil only
+	// while Recover is replaying the log single-threadedly; restore is
+	// the staged link/watermark state Start applies; snapProvider
+	// serializes one hosted site's settled state for Snapshot.
+	wal          *wal.Log
+	replay       atomic.Pointer[replayState]
+	restore      *restoreState
+	snapProvider func(simnet.SiteID) ([]byte, error)
+	ckptStop     chan struct{}
+
 	// Delivered counts DATA frames handed to site handlers; Deduped
 	// counts suppressed duplicates (metrics for the chaos tests and
 	// the P10 experiment).
@@ -168,12 +191,33 @@ func NewNode(cfg Config) *Node {
 	if cfg.NodeIndex < 0 || cfg.NodeIndex >= MaxNodes {
 		panic(fmt.Sprintf("netwire: node index %d out of range", cfg.NodeIndex))
 	}
-	return &Node{
+	n := &Node{
 		cfg:   cfg,
 		start: time.Now(),
 		sites: map[simnet.SiteID]*inbox{},
 		links: map[string]*link{},
 		recvs: map[string]*recvPeer{},
+		wal:   cfg.WAL,
+	}
+	if n.wal != nil {
+		// Durable-LSN progress unblocks link transmission (frames are
+		// withheld until their log records are on disk).
+		n.wal.OnDurable(n.wakeLinks)
+	}
+	return n
+}
+
+// wakeLinks signals every link's session goroutine to re-scan its
+// queue (durable LSN advanced, so withheld frames may now transmit).
+func (n *Node) wakeLinks() {
+	n.mu.Lock()
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	for _, l := range links {
+		l.signal()
 	}
 }
 
@@ -221,7 +265,18 @@ func (n *Node) Start(peers map[simnet.SiteID]string) {
 	if n.lis == nil {
 		panic("netwire: Start before Listen")
 	}
+	deferred := n.applyRestore(peers)
 	go n.acceptLoop()
+	if n.wal != nil && n.cfg.CheckpointEvery > 0 {
+		n.ckptStop = make(chan struct{})
+		go n.checkpointLoop()
+	}
+	// Sends regenerated during replay but absent from the log (their
+	// records were lost in the crash) go out as fresh sends now that
+	// the transport is live.
+	for _, d := range deferred {
+		n.Send(d.from, d.to, d.payload)
+	}
 }
 
 // Now returns wall microseconds since the node started — the
@@ -237,7 +292,42 @@ func (n *Node) Now() simnet.Time {
 // frame carries the sender's counter and receivers fold it in before
 // delivery.
 func (n *Node) NextOccurrence() int64 {
+	if r := n.replay.Load(); r != nil {
+		if at, ok := r.popFire(); ok {
+			// Reuse the logged occurrence index and fold its counter so
+			// the replayed clock evolution matches the original.
+			n.observeClock(at >> nodeBits)
+			return at
+		}
+		// The fire's record was lost in the crash: draw fresh.  Mark the
+		// pin queue exhausted so JournalFire logs this fire — the next
+		// crash must replay it from its own record.
+		r.pinsExhausted = true
+	}
 	return n.clock.Add(1)<<nodeBits | int64(n.cfg.NodeIndex)
+}
+
+// JournalFire logs a fire verdict (actor.Journal).  The actor calls it
+// before handing the resulting announcements to Send, so announcement
+// records always sit later in the log — transmission gating on their
+// LSN transitively makes the fire durable before any peer can see it.
+func (n *Node) JournalFire(site simnet.SiteID, sym string, at int64) {
+	if n.wal == nil {
+		return
+	}
+	if r := n.replay.Load(); r != nil && !r.pinsExhausted {
+		return // replayed fire: its record is already in the log
+	}
+	n.wal.Append(wal.Record{Kind: wal.KFire, Site: string(site), Sym: sym, At: at})
+}
+
+// JournalReject logs a reject verdict (actor.Journal).  Rejects are
+// re-derived deterministically by replay; the record is diagnostic.
+func (n *Node) JournalReject(site simnet.SiteID, sym string, note string) {
+	if n.wal == nil || n.replay.Load() != nil {
+		return
+	}
+	n.wal.Append(wal.Record{Kind: wal.KReject, Site: string(site), Sym: sym, Note: note})
 }
 
 // Clock reads the current occurrence bound without advancing the
@@ -264,12 +354,36 @@ func (n *Node) observeClock(c int64) {
 // hosted sites, over the site's link otherwise.  It implements
 // actor.Net; remote payloads must be actor protocol messages.
 func (n *Node) Send(from, to simnet.SiteID, payload any) {
+	if r := n.replay.Load(); r != nil {
+		// Log replay: suppress sends the log already accounts for,
+		// defer the rest (lost in the crash) until the node is live.
+		r.send(from, to, payload)
+		return
+	}
 	n.mu.Lock()
 	ib := n.sites[to]
 	n.mu.Unlock()
 	if ib != nil {
+		var lsn uint64
+		var clock int64
+		if n.wal != nil {
+			// A local delivery is durable input like any other: log it
+			// (Site2 marks the local origin for replay send-matching)
+			// and let the inbox gate the handler on its durability.
+			bp := actor.GetEncodeBuf()
+			enc, err := actor.AppendPayload((*bp)[:0], payload)
+			if err != nil {
+				actor.PutEncodeBuf(bp)
+				panic(fmt.Sprintf("netwire: %v", err))
+			}
+			lsn = n.wal.Append(wal.Record{
+				Kind: wal.KIn, Site: string(to), Site2: string(from), Payload: enc,
+			})
+			*bp = enc
+			actor.PutEncodeBuf(bp)
+		}
 		n.pend.Add(1)
-		ib.enqueue(payload)
+		ib.enqueue(inItem{payload: payload, clock: clock, lsn: lsn})
 		return
 	}
 	addr, ok := n.peers[to]
@@ -329,6 +443,15 @@ func (n *Node) BatchStats() (batches, frames int64) {
 	return n.batches.Load(), n.batchedFrames.Load()
 }
 
+// WALSyncs reports completed fsync batches on this node's log (zero
+// for a volatile node).
+func (n *Node) WALSyncs() int64 {
+	if n.wal == nil {
+		return 0
+	}
+	return n.wal.Syncs()
+}
+
 // Close shuts the node down: listener, accepted connections implied by
 // it, outbound links, and site goroutines.
 func (n *Node) Close() {
@@ -348,6 +471,9 @@ func (n *Node) Close() {
 	}
 	n.mu.Unlock()
 
+	if n.ckptStop != nil {
+		close(n.ckptStop)
+	}
 	if n.lis != nil {
 		n.lis.Close()
 	}
@@ -356,6 +482,9 @@ func (n *Node) Close() {
 	}
 	for _, ib := range sites {
 		ib.close()
+	}
+	if n.wal != nil {
+		n.wal.Close()
 	}
 }
 
@@ -406,13 +535,25 @@ type inbox struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []any
+	queue  []inItem
 	closed bool
 }
 
-func (ib *inbox) enqueue(payload any) {
+// inItem is one queued delivery.  In WAL mode it carries the LSN of
+// its log record (the handler runs only once that record is durable —
+// processed implies durable implies replayed) and the sender's Lamport
+// counter, folded just before the handler instead of at socket arrival
+// so the counter evolution is a deterministic function of the durable
+// delivery order and can be reproduced by replay.
+type inItem struct {
+	payload any
+	clock   int64
+	lsn     uint64
+}
+
+func (ib *inbox) enqueue(it inItem) {
 	ib.mu.Lock()
-	ib.queue = append(ib.queue, payload)
+	ib.queue = append(ib.queue, it)
 	ib.mu.Unlock()
 	ib.cond.Signal()
 }
@@ -440,11 +581,24 @@ func (ib *inbox) loop() {
 			}
 			return
 		}
-		payload := ib.queue[0]
+		it := ib.queue[0]
 		ib.queue = ib.queue[1:]
 		ib.mu.Unlock()
 
-		ib.handler(payload)
+		if it.lsn > 0 {
+			ib.node.wal.WaitDurable(it.lsn)
+			if ib.node.wal.Durable() < it.lsn {
+				// The log closed before this record became durable: a
+				// shutdown is racing us, and processing a delivery outside
+				// the durable prefix would fork the recovered state.
+				ib.node.pend.Done()
+				continue
+			}
+		}
+		if it.clock > 0 {
+			ib.node.observeClock(it.clock)
+		}
+		ib.handler(it.payload)
 		ib.node.pend.Done()
 	}
 }
@@ -460,9 +614,15 @@ type recvPeer struct {
 	mu        sync.Mutex
 	watermark uint64
 	buffered  map[uint64]pendingFrame
+	// lastLsn is the log record of the newest delivery logged from this
+	// peer; acknowledgements wait for it so an acked frame is always
+	// durable (the sender prunes it and will never retransmit).
+	lastLsn atomic.Uint64
 }
 
 type pendingFrame struct {
+	seq     uint64
+	clock   int64
 	to      simnet.SiteID
 	payload []byte
 }
@@ -538,7 +698,11 @@ func (n *Node) serveConn(conn net.Conn) {
 			}
 			peerID = id
 			peer = n.recvPeer(id)
-			n.observeClock(clock)
+			if n.wal == nil {
+				// In WAL mode clocks are folded at dequeue only, so the
+				// counter evolution is replayable from the log.
+				n.observeClock(clock)
+			}
 		case frameData:
 			if peer == nil {
 				n.logf("data before hello")
@@ -552,18 +716,25 @@ func (n *Node) serveConn(conn net.Conn) {
 				n.logf("bad data from %s: %v", peerID, err)
 				return
 			}
-			n.observeClock(clock)
+			if n.wal == nil {
+				n.observeClock(clock)
+			}
 			// The payload bytes alias the frame buffer, which is not
 			// reused, so buffering them in the peer is safe.
-			ready, dup, ack := peer.admit(seq, pendingFrame{to: to, payload: payload})
+			ready, dup, ack := peer.admit(seq, pendingFrame{seq: seq, clock: clock, to: to, payload: payload})
 			if dup {
 				n.deduped.Add(1)
 			}
-			if !n.deliverReady(peerID, ready) {
+			if !n.deliverReady(peerID, peer, ready) {
 				return
 			}
 			// Acknowledge after the delivery is accounted for, so the
-			// sender's pending interval overlaps the receiver's.
+			// sender's pending interval overlaps the receiver's — and,
+			// in WAL mode, only once the logged deliveries are durable,
+			// so the sender never prunes a frame we could lose.
+			if !n.waitAckDurable(peer) {
+				return
+			}
 			if err := cw.write(appendAck(nil, ack)); err != nil {
 				return
 			}
@@ -586,13 +757,15 @@ func (n *Node) serveConn(conn net.Conn) {
 					return
 				}
 				rest = r
-				n.observeClock(clock)
-				ready, dup, a := peer.admit(seq, pendingFrame{to: to, payload: payload})
+				if n.wal == nil {
+					n.observeClock(clock)
+				}
+				ready, dup, a := peer.admit(seq, pendingFrame{seq: seq, clock: clock, to: to, payload: payload})
 				if dup {
 					n.deduped.Add(1)
 				}
 				ack = a
-				if !n.deliverReady(peerID, ready) {
+				if !n.deliverReady(peerID, peer, ready) {
 					return
 				}
 			}
@@ -602,6 +775,9 @@ func (n *Node) serveConn(conn net.Conn) {
 			}
 			// One cumulative acknowledgement covers the whole batch:
 			// coalescing saves ack frames as well as data frames.
+			if !n.waitAckDurable(peer) {
+				return
+			}
 			if err := cw.write(appendAck(nil, ack)); err != nil {
 				return
 			}
@@ -612,10 +788,23 @@ func (n *Node) serveConn(conn net.Conn) {
 	}
 }
 
+// waitAckDurable blocks until every delivery logged from this peer is
+// durable, reporting false when the log closed first — a shutdown is in
+// progress, and acknowledging a non-durable delivery would let the
+// sender prune a frame the recovered node never saw.
+func (n *Node) waitAckDurable(peer *recvPeer) bool {
+	if n.wal == nil {
+		return true
+	}
+	lsn := peer.lastLsn.Load()
+	n.wal.WaitDurable(lsn)
+	return n.wal.Durable() >= lsn
+}
+
 // deliverReady decodes and enqueues frames released in order by the
 // receive peer.  It reports false on a protocol violation (the caller
 // kills the connection).
-func (n *Node) deliverReady(peerID string, ready []pendingFrame) bool {
+func (n *Node) deliverReady(peerID string, rp *recvPeer, ready []pendingFrame) bool {
 	for _, f := range ready {
 		msg, err := actor.DecodePayload(f.payload)
 		if err != nil {
@@ -629,9 +818,26 @@ func (n *Node) deliverReady(peerID string, ready []pendingFrame) bool {
 			n.logf("frame for unhosted site %q", f.to)
 			continue
 		}
+		var lsn uint64
+		var clock int64
+		if n.wal != nil {
+			lsn = n.wal.Append(wal.Record{
+				Kind: wal.KIn, Site: string(f.to), Peer: peerID,
+				Seq: f.seq, Clock: f.clock, Payload: f.payload,
+			})
+			// Monotone max: a reconnect can briefly leave two serving
+			// goroutines on one recvPeer.
+			for {
+				cur := rp.lastLsn.Load()
+				if lsn <= cur || rp.lastLsn.CompareAndSwap(cur, lsn) {
+					break
+				}
+			}
+			clock = f.clock
+		}
 		n.delivered.Add(1)
 		n.pend.Add(1)
-		ib.enqueue(msg)
+		ib.enqueue(inItem{payload: msg, clock: clock, lsn: lsn})
 	}
 	return true
 }
@@ -804,11 +1010,11 @@ func parseAck(body []byte) (uint64, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("bad ack")
 	}
+	if n != len(body) {
+		// A trailing-garbage ack is a framing violation, not a lower
+		// watermark to silently adopt — reject it so the connection is
+		// torn down and retransmission resynchronizes.
+		return 0, fmt.Errorf("ack: %d trailing bytes", len(body)-n)
+	}
 	return v, nil
-}
-
-// jitter returns d scaled by a uniform factor in [0.5, 1.5): desynced
-// reconnect storms.
-func jitter(d time.Duration) time.Duration {
-	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }

@@ -1,0 +1,76 @@
+package netwire
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// TestParseAckStrict covers the ack framing fix: a well-formed ack
+// parses, and any trailing bytes are a framing violation — not a
+// watermark to silently adopt — so the reader tears the connection
+// down and resynchronizes via retransmission.
+func TestParseAckStrict(t *testing.T) {
+	body := appendAck(nil, 41)[2:] // strip version and type bytes
+	got, err := parseAck(body)
+	if err != nil || got != 41 {
+		t.Fatalf("parseAck(valid) = %d, %v", got, err)
+	}
+	if _, err := parseAck(append(body, 0x00)); err == nil {
+		t.Fatal("parseAck accepted trailing bytes")
+	}
+	if _, err := parseAck(append(body, 0xde, 0xad)); err == nil {
+		t.Fatal("parseAck accepted trailing garbage")
+	}
+	if _, err := parseAck(nil); err == nil {
+		t.Fatal("parseAck accepted an empty body")
+	}
+}
+
+// TestJitterDeterminism covers the seeded-backoff fix: reconnect jitter
+// draws from a per-link RNG derived from the fault-plan seed, the node
+// index, and the remote address, so a seeded chaos run reproduces its
+// backoff schedule exactly — and distinct links desynchronize.
+func TestJitterDeterminism(t *testing.T) {
+	mk := func(seed int64, index int, addr string) []time.Duration {
+		n := NewNode(Config{
+			ID: "n", ListenAddr: "127.0.0.1:0", NodeIndex: index,
+			Fault: &simnet.FaultPlan{Seed: seed},
+		})
+		l := newLink(n, addr)
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = l.jitter(10 * time.Millisecond)
+		}
+		return out
+	}
+	same := func(a, b []time.Duration) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	a := mk(7, 1, "127.0.0.1:9001")
+	b := mk(7, 1, "127.0.0.1:9001")
+	if !same(a, b) {
+		t.Errorf("same (seed, index, addr) produced different jitter:\n%v\n%v", a, b)
+	}
+	for _, d := range a {
+		if d < 5*time.Millisecond || d >= 15*time.Millisecond {
+			t.Errorf("jitter %v outside [d/2, 3d/2)", d)
+		}
+	}
+	if same(a, mk(8, 1, "127.0.0.1:9001")) {
+		t.Error("different seeds produced identical jitter")
+	}
+	if same(a, mk(7, 2, "127.0.0.1:9001")) {
+		t.Error("different node indices produced identical jitter")
+	}
+	if same(a, mk(7, 1, "127.0.0.1:9002")) {
+		t.Error("different addresses produced identical jitter")
+	}
+}

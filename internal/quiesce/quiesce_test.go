@@ -1,0 +1,202 @@
+package quiesce
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTrackerCounts(t *testing.T) {
+	var tr Tracker
+	if got := tr.Pending(); got != 0 {
+		t.Fatalf("zero-value Pending = %d", got)
+	}
+	tr.Add(3)
+	tr.Add(2)
+	if got := tr.Pending(); got != 5 {
+		t.Fatalf("Pending after Add(3), Add(2) = %d", got)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Done()
+	}
+	if got := tr.Pending(); got != 0 {
+		t.Fatalf("Pending after draining = %d", got)
+	}
+}
+
+// TestWaitIdleStableZero: an idle tracker confirms quiescence well
+// within the timeout, and a busy one refuses until drained.
+func TestWaitIdleStableZero(t *testing.T) {
+	var tr Tracker
+	if !tr.WaitIdle(time.Second) {
+		t.Fatal("idle tracker did not report idle")
+	}
+	tr.Add(1)
+	if tr.WaitIdle(20 * time.Millisecond) {
+		t.Fatal("busy tracker reported idle")
+	}
+	tr.Done()
+	if !tr.WaitIdle(time.Second) {
+		t.Fatal("drained tracker did not report idle")
+	}
+}
+
+// TestWaitIdleChurn: a counter that keeps bouncing through zero must
+// not satisfy the stability requirement until the churn stops — the
+// window where one handler finished but is about to send more work is
+// exactly what the consecutive-zero rule guards against.
+func TestWaitIdleChurn(t *testing.T) {
+	var tr Tracker
+	stop := make(chan struct{})
+	var churning sync.WaitGroup
+	churning.Add(1)
+	go func() {
+		defer churning.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr.Add(1)
+			time.Sleep(200 * time.Microsecond)
+			tr.Done()
+			// No pause before re-adding: pending is zero only for an
+			// instant, never for consecutive polls.
+		}
+	}()
+
+	// Observed zeros must reset on churn: with a generous poll the
+	// tracker is almost always mid-item, so idle must not be declared.
+	idle := WaitIdleFuncEvery(30*time.Millisecond, 100*time.Microsecond, 50, tr.Pending)
+	close(stop)
+	churning.Wait()
+	if idle {
+		t.Error("churning tracker reported stable idle")
+	}
+	if !tr.WaitIdle(time.Second) {
+		t.Fatal("tracker did not settle after churn stopped")
+	}
+}
+
+// TestWaitIdleFuncSum covers the mesh usage: quiescence over the sum of
+// several trackers, reached only when every one drains.
+func TestWaitIdleFuncSum(t *testing.T) {
+	var a, b Tracker
+	a.Add(1)
+	b.Add(1)
+	sum := func() int64 { return a.Pending() + b.Pending() }
+	a.Done()
+	if WaitIdleFunc(20*time.Millisecond, sum) {
+		t.Fatal("sum reported idle with b still pending")
+	}
+	b.Done()
+	if !WaitIdleFunc(time.Second, sum) {
+		t.Fatal("sum did not report idle after both drained")
+	}
+}
+
+// TestConcurrentArmSettle hammers one tracker from many goroutines
+// while waiters arm concurrently — the shape the -race build checks.
+func TestConcurrentArmSettle(t *testing.T) {
+	var tr Tracker
+	const workers = 8
+	const items = 200
+	var wg sync.WaitGroup
+	tr.Add(workers * items) // arm everything up front: never dips to zero early
+	var results [4]atomic.Bool
+	for i := range results {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			results[slot].Store(tr.WaitIdle(5 * time.Second))
+		}(i)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				tr.Done()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Pending(); got != 0 {
+		t.Fatalf("Pending after settle = %d", got)
+	}
+	for i := range results {
+		if !results[i].Load() {
+			t.Errorf("waiter %d missed the settle", i)
+		}
+	}
+}
+
+// TestGatePulse: waiters on the current channel wake on Pulse, and a
+// fresh channel is armed for the next round.
+func TestGatePulse(t *testing.T) {
+	var g Gate
+	ch1 := g.Chan()
+	done := make(chan struct{})
+	go func() {
+		<-ch1
+		close(done)
+	}()
+	g.Pulse()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("waiter not woken by Pulse")
+	}
+	ch2 := g.Chan()
+	select {
+	case <-ch2:
+		t.Fatal("fresh gate channel already closed")
+	default:
+	}
+	g.Pulse()
+	select {
+	case <-ch2:
+	default:
+		t.Fatal("second Pulse did not close the re-armed channel")
+	}
+}
+
+// TestGateConcurrent arms and pulses from many goroutines under -race:
+// every waiter must wake exactly once per armed channel, with no
+// double-close.
+func TestGateConcurrent(t *testing.T) {
+	var g Gate
+	var wg sync.WaitGroup
+	var woken atomic.Int64
+	const waiters = 16
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch := g.Chan()
+			select {
+			case <-ch:
+				woken.Add(1)
+			case <-time.After(5 * time.Second):
+			}
+		}()
+	}
+	var pulses sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		pulses.Add(1)
+		go func() {
+			defer pulses.Done()
+			for j := 0; j < 100; j++ {
+				g.Pulse()
+			}
+		}()
+	}
+	pulses.Wait()
+	g.Pulse() // final pulse: any waiter that armed after the storm
+	wg.Wait()
+	if woken.Load() != waiters {
+		t.Errorf("woke %d of %d waiters", woken.Load(), waiters)
+	}
+}

@@ -199,6 +199,18 @@ func (k *Knowledge) set(s algebra.Symbol, f fact) {
 // under unmodified knowledge is the identity.
 func (k *Knowledge) Version() uint64 { return k.ver }
 
+// Range calls fn for every symbol with a non-unknown status, in
+// unspecified order.  Serialization callers (WAL snapshots) sort the
+// keys themselves.
+func (k *Knowledge) Range(fn func(key string, st Status, at int64)) {
+	for key, f := range k.m {
+		if f.status == StatusUnknown {
+			continue
+		}
+		fn(key, f.status, f.time)
+	}
+}
+
 // Status returns what is known about the symbol.
 func (k *Knowledge) Status(s algebra.Symbol) Status {
 	if k.m == nil {
