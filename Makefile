@@ -58,10 +58,13 @@ tracecheck:
 crashcheck:
 	$(GO) test -count=1 -run 'TestCrashRestartChaos|TestSnapshotRecovery' ./internal/netwire
 
-# Every benchmark must still compile and survive one iteration; keeps
-# the perf harness from rotting between measurement sessions.
+# Every benchmark must still compile and survive one iteration (keeps
+# the perf harness from rotting between measurement sessions), and the
+# zero-allocation contracts on the two hot paths — wire encoding and
+# program-mode announcement delivery — must still hold.
 benchsmoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -count=1 -run 'TestAnnounceDeliverZeroAlloc|TestEncodeZeroAlloc' ./internal/actor
 
 # Every fuzz target gets a brief run; corpora live under each package's
 # testdata/fuzz/.  Targets run sequentially because go test allows only
@@ -70,6 +73,7 @@ fuzzsmoke:
 	$(GO) test -run=NONE -fuzz=FuzzDecodePayload -fuzztime=2s ./internal/actor
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=2s ./internal/spec
 	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=2s ./internal/wal
+	$(GO) test -run=NONE -fuzz=FuzzGuardProgram -fuzztime=2s ./internal/gprog
 
 bench:
 	$(GO) test -bench 'BenchmarkP' -benchtime 1x ./...

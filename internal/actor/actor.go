@@ -38,6 +38,7 @@ import (
 	"sort"
 
 	"repro/internal/algebra"
+	"repro/internal/gprog"
 	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/temporal"
@@ -81,6 +82,16 @@ type Actor struct {
 	// that polarity's guard.
 	localNeg map[string]map[string]algebra.Symbol
 	pols     map[string]*polarity
+	// ordered holds both polarities sorted by symbol key, precomputed
+	// so broadcast-order walks never re-sort (or allocate).
+	ordered [2]*polarity
+
+	// prog, when attached, is the compiled bitset mirror of both
+	// guards: it assimilates the same facts as know and answers
+	// Decide/Eval without touching the formula trees.  The guards map
+	// stays authoritative for everything the fast path does not cover
+	// (rounds, waves, promise soundness).
+	prog *gprog.State
 
 	roundSeq int
 	deferred []InquireMsg
@@ -95,7 +106,10 @@ type Actor struct {
 }
 
 type polarity struct {
-	sym         algebra.Symbol
+	sym algebra.Symbol
+	// progPol is this polarity's index into the compiled guard
+	// program (gprog.PolPos / gprog.PolNeg).
+	progPol     int
 	attempted   bool
 	forced      bool
 	attemptTime simnet.Time
@@ -183,20 +197,80 @@ func New(base algebra.Symbol, site simnet.SiteID, dir *Directory, hooks *Hooks,
 		localNeg:   map[string]map[string]algebra.Symbol{},
 		pols:       map[string]*polarity{},
 	}
-	for _, s := range []algebra.Symbol{base, base.Complement()} {
+	for i, s := range []algebra.Symbol{base, base.Complement()} {
 		a.pols[s.Key()] = &polarity{
 			sym:           s,
+			progPol:       i,
 			holdsOnMe:     map[string]bool{},
 			promisesBy:    map[string]promiseInfo{},
 			promiseClaims: map[string]promiseClaim{},
 			pastInquirers: map[simnet.SiteID]bool{},
 		}
 	}
+	a.ordered[0] = a.pols[base.Key()]
+	a.ordered[1] = a.pols[base.Complement().Key()]
+	if a.ordered[1].sym.Key() < a.ordered[0].sym.Key() {
+		a.ordered[0], a.ordered[1] = a.ordered[1], a.ordered[0]
+	}
 	a.guards[base.Key()] = pos.Guard
 	a.guards[base.Complement().Key()] = neg.Guard
 	a.localNeg[base.Key()] = pos.LocalNeg
 	a.localNeg[base.Complement().Key()] = neg.LocalNeg
 	return a
+}
+
+// AttachProgram switches the actor to compiled-guard mode: a per-actor
+// mutable State over the shared immutable program assimilates every
+// fact alongside know, and decide consults its bitset verdict before
+// falling back to the formula trees.  Attach before any message flows;
+// the program must be compiled from the same guard specs New received.
+func (a *Actor) AttachProgram(p *gprog.Prog) {
+	if p == nil {
+		a.prog = nil
+		return
+	}
+	a.prog = p.NewState()
+}
+
+// SyncProgram rebuilds the program state from the actor's knowledge —
+// the resynchronization point after wholesale knowledge mutation
+// (snapshot Restore).
+func (a *Actor) SyncProgram() {
+	if a.prog != nil {
+		a.prog.Sync(&a.know)
+	}
+}
+
+// The observe/hold/unhold/markImpossible wrappers are the only paths
+// that mutate a.know during the protocol: they keep the compiled
+// program's bitmasks in lockstep with the knowledge map.
+
+func (a *Actor) observe(s algebra.Symbol, t int64) {
+	a.know.Observe(s, t)
+	if a.prog != nil {
+		a.prog.Observe(s, t)
+	}
+}
+
+func (a *Actor) markImpossible(s algebra.Symbol) {
+	a.know.MarkImpossible(s)
+	if a.prog != nil {
+		a.prog.MarkImpossible(s)
+	}
+}
+
+func (a *Actor) hold(s algebra.Symbol) {
+	a.know.Hold(s)
+	if a.prog != nil {
+		a.prog.Hold(s)
+	}
+}
+
+func (a *Actor) unhold(s algebra.Symbol) {
+	a.know.Unhold(s)
+	if a.prog != nil {
+		a.prog.Unhold(s)
+	}
 }
 
 // localView returns the knowledge to decide a polarity with: when the
@@ -521,7 +595,9 @@ func (a *Actor) onAnnounce(n Net, m AnnounceMsg) {
 	if m.Sym.SameEvent(a.base) {
 		return // our own occurrences are recorded at fire time
 	}
-	a.logf("announce %s@%d", m.Sym, m.At)
+	if a.Log != nil { // checked here: the varargs box is per-delivery
+		a.logf("announce %s@%d", m.Sym, m.At)
+	}
 	mAnnouncements.Inc()
 	if a.Trace.On() {
 		a.Trace.Emit(obs.Record{
@@ -531,7 +607,7 @@ func (a *Actor) onAnnounce(n Net, m AnnounceMsg) {
 			At:      m.At,
 		})
 	}
-	a.know.Observe(m.Sym, m.At)
+	a.observe(m.Sym, m.At)
 	a.answerDeferred(n)
 	a.settlePromises(n)
 	for _, p := range a.sortedPols() {
@@ -580,6 +656,41 @@ func (a *Actor) settlePromises(n Net) {
 func (a *Actor) decide(n Net, p *polarity) {
 	if p.occurred || p.rejected || p.fireReady {
 		return
+	}
+	// Compiled fast path: the program's bitset verdict settles the two
+	// overwhelmingly common delivery outcomes — "guard now true, fire"
+	// and "nothing changed, keep waiting on the active round" — with
+	// zero allocations and no tree walk.  It is taken only where the
+	// resulting message sequence is provably identical to the tree
+	// path: no outstanding promise claims (so decideWave cannot
+	// trigger), tracing off (the tree path emits residuation/eval
+	// records), and, for firing, no open round (whose holds the tree
+	// path would trim against the residual formula).  Everything else
+	// falls through to the tree path below, which remains the oracle.
+	if a.prog != nil && len(p.promiseClaims) == 0 && !a.Trace.On() {
+		clean := a.prog.Prog().NeedsLocal(p.progPol) && a.localFactsClean()
+		switch {
+		case a.prog.Decide(p.progPol, clean) == temporal.True:
+			if p.round == nil {
+				p.wave = nil
+				a.tryFire(n, p)
+				return
+			}
+			// Open round: fall through so the tree path trims the
+			// round's holds against the residual before firing.
+		case a.prog.Eval(p.progPol) == temporal.False:
+			// Permanently false: the residual tree reduces to 0 (the
+			// equivalence TestResidualChainAgreement locks in), so
+			// reject without materializing it.
+			a.endRound(n, p)
+			a.reject(n, p, "guard reduced to 0")
+			return
+		case p.round != nil:
+			// Verdict unknown with an inquiry round already in flight:
+			// the tree path would re-reduce, trace nothing, find no
+			// wave, and skip startRound — a no-op.
+			return
+		}
 	}
 	g := a.residualGuard(n, p)
 	if g.IsFalse() {
@@ -911,13 +1022,13 @@ func (a *Actor) onReply(n Net, m InquireReplyMsg) {
 	delete(p.round.pending, m.Target.Key())
 	switch {
 	case m.Occurred:
-		a.know.Observe(m.Target, m.At)
+		a.observe(m.Target, m.At)
 	case m.Impossible:
-		a.know.MarkImpossible(m.Target)
+		a.markImpossible(m.Target)
 	default:
 		if m.Held {
 			p.round.holds = append(p.round.holds, claim{target: m.Target, site: site})
-			a.know.Hold(m.Target)
+			a.hold(m.Target)
 		}
 	}
 	if len(p.round.pending) == 0 {
@@ -968,7 +1079,7 @@ func (a *Actor) endRound(n Net, p *polarity) {
 		n.Send(a.site, c.site, ReleaseMsg{
 			Target: c.target, Requester: p.sym, Round: p.round.id,
 		})
-		a.know.Unhold(c.target)
+		a.unhold(c.target)
 	}
 	p.round = nil
 	a.answerDeferred(n)
@@ -1024,7 +1135,7 @@ func (a *Actor) releaseUnneededHolds(n Net, p *polarity, g temporal.Formula) {
 		n.Send(a.site, c.site, ReleaseMsg{
 			Target: c.target, Requester: p.sym, Round: p.round.id,
 		})
-		a.know.Unhold(c.target)
+		a.unhold(c.target)
 	}
 	p.round.holds = kept
 }
@@ -1082,7 +1193,7 @@ func (a *Actor) fire(n Net, p *polarity) {
 	p.occurred = true
 	p.fireReady = false
 	p.at = at
-	a.know.Observe(p.sym, at)
+	a.observe(p.sym, at)
 	a.logf("FIRE %s@%d", p.sym, at)
 	mFires.Inc()
 	if a.Trace.On() {
@@ -1170,14 +1281,10 @@ func (a *Actor) answerDeferred(n Net) {
 	}
 }
 
-func (a *Actor) sortedPols() []*polarity {
-	out := make([]*polarity, 0, len(a.pols))
-	for _, p := range a.pols {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].sym.Key() < out[j].sym.Key() })
-	return out
-}
+// sortedPols returns both polarities in symbol-key order.  The pair is
+// precomputed at construction — delivery walks it on every
+// announcement, so it must not sort or allocate.
+func (a *Actor) sortedPols() []*polarity { return a.ordered[:] }
 
 func claimKey(requester algebra.Symbol, round int) string {
 	return fmt.Sprintf("%s#%d", requester.Key(), round)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/gprog"
 	"repro/internal/obs"
 	"repro/internal/simnet"
 )
@@ -19,8 +20,9 @@ func (n *benchNet) Clock() int64                             { return n.occ }
 
 // announceActor builds a lone actor for event b whose guard watches a,
 // so an announcement of a exercises the assimilation path (observe,
-// settle, re-decide scan) without firing anything.
-func announceActor(tb testing.TB) (*Actor, AnnounceMsg) {
+// settle, re-decide scan) without firing anything.  prog selects the
+// compiled-guard-program delivery mode.
+func announceActorMode(tb testing.TB, prog bool) (*Actor, AnnounceMsg) {
 	tb.Helper()
 	w, err := core.ParseWorkflow("~b + a . b")
 	if err != nil {
@@ -34,9 +36,19 @@ func announceActor(tb testing.TB) (*Actor, AnnounceMsg) {
 	dir.Place(sym("a"), "sa")
 	dir.Place(sym("b"), "sb")
 	b := sym("b")
-	a := New(b, "sb", dir, &Hooks{},
-		GuardSpec{Guard: c.GuardOf(b)}, GuardSpec{Guard: c.GuardOf(b.Complement())})
+	pos := GuardSpec{Guard: c.GuardOf(b)}
+	neg := GuardSpec{Guard: c.GuardOf(b.Complement())}
+	a := New(b, "sb", dir, &Hooks{}, pos, neg)
+	if prog {
+		a.AttachProgram(gprog.Compile(
+			gprog.GuardInput{Guard: pos.Guard, LocalNeg: pos.LocalNeg},
+			gprog.GuardInput{Guard: neg.Guard, LocalNeg: neg.LocalNeg}))
+	}
 	return a, AnnounceMsg{Sym: sym("a"), At: 1}
+}
+
+func announceActor(tb testing.TB) (*Actor, AnnounceMsg) {
+	return announceActorMode(tb, false)
 }
 
 // TestAnnounceDisabledTracerZeroAllocDelta is the observability cost
@@ -58,6 +70,35 @@ func TestAnnounceDisabledTracerZeroAllocDelta(t *testing.T) {
 	if withTracer != base {
 		t.Fatalf("disabled tracer costs allocations: %.2f allocs/op with tracer, %.2f without",
 			withTracer, base)
+	}
+}
+
+// TestAnnounceDeliverZeroAlloc is the alloc-regression gate that make
+// benchsmoke runs: program-mode announcement delivery — set a bit,
+// recheck the affected guards by mask intersection — must stay
+// allocation-free in steady state.
+func TestAnnounceDeliverZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are not meaningful under the race detector")
+	}
+	a, msg := announceActorMode(t, true)
+	net := &benchNet{}
+	a.onAnnounce(net, msg) // settle the first-delivery transitions
+	if avg := testing.AllocsPerRun(2000, func() { a.onAnnounce(net, msg) }); avg != 0 {
+		t.Fatalf("program-mode delivery allocates %v times per announcement, want 0", avg)
+	}
+}
+
+// BenchmarkAnnounceDeliver measures the program-mode delivery hot
+// path; run with -benchmem to see the allocation guard (0 allocs/op,
+// gated by TestAnnounceDeliverZeroAlloc).
+func BenchmarkAnnounceDeliver(b *testing.B) {
+	a, msg := announceActorMode(b, true)
+	net := &benchNet{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.onAnnounce(net, msg)
 	}
 }
 

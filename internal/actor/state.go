@@ -162,5 +162,9 @@ func (a *Actor) Restore(st ActorState) error {
 			p.pastInquirers[simnet.SiteID(s)] = true
 		}
 	}
+	// The facts above were loaded into the knowledge map wholesale;
+	// rebuild the compiled program's bitmasks to match before any
+	// replayed delivery consults them.
+	a.SyncProgram()
 	return nil
 }

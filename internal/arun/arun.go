@@ -50,6 +50,20 @@ type Transport interface {
 	Close()
 }
 
+// IdleNotifier is optionally implemented by Transports whose idle
+// state is event-driven (internal/engine's per-instance transport):
+// IdleWait registers a waiter and returns the channel closed by the
+// next pending-count zero-transition plus a deregistration func, and
+// IdleNow reads the count directly.  When the transport provides it,
+// the pipelined attempt wait selects on the decision gate and the idle
+// signal simultaneously — a parked attempt is detected the moment the
+// transport drains rather than on the next poll slice, which is most
+// of the net-mode inter-attempt latency (EXPERIMENTS.md, P14).
+type IdleNotifier interface {
+	IdleNow() bool
+	IdleWait() (idle <-chan struct{}, cancel func())
+}
+
 // Options configure a Runner.
 type Options struct {
 	// Driver is the runner's own site (default "ctl").  It must not
@@ -113,7 +127,7 @@ type Runner struct {
 	poll      time.Duration
 	satCache  *SatCache
 
-	mu sync.Mutex
+	mu  sync.Mutex
 	occ map[string]occRec
 	dec map[string]actor.DecisionMsg
 	// decGen counts decision arrivals per symbol key; pipelined
@@ -380,32 +394,73 @@ func (r *Runner) awaitAttempt(sym algebra.Symbol, key string, start uint64) erro
 		r.mu.Unlock()
 		return m
 	}
+	notify, _ := r.tr.(IdleNotifier)
 	deadline := time.Now().Add(r.timeout)
+	// One timer re-armed per round; the old time.After allocated a
+	// fresh timer every poll slice of every attempt.
+	timer := time.NewTimer(r.timeout)
+	defer timer.Stop()
 	for {
 		if moved() {
 			return nil
 		}
-		// Take the gate channel first, then re-check: a pulse between
-		// the check and the wait closes the channel we already hold, so
-		// no wakeup is lost.
+		// Take the channels first, then re-check: a pulse between the
+		// check and the wait closes a channel we already hold, so no
+		// wakeup is lost.
 		ch := r.decGate.Chan()
+		var idle <-chan struct{}
+		cancel := func() {}
+		if notify != nil {
+			idle, cancel = notify.IdleWait()
+		}
 		if moved() {
+			cancel()
 			return nil
 		}
+		if notify != nil && notify.IdleNow() {
+			// Already parked with the attempt undecided: the drive loop
+			// moves on and a later decision folds in.  The explicit read
+			// is required, not a shortcut — a zero-transition that
+			// completed before IdleWait registered never pulses.
+			cancel()
+			return nil
+		}
+		wait := r.poll
+		if notify != nil {
+			// Event-driven transport: no poll slice needed, the timer
+			// only bounds the overall deadline.
+			wait = time.Until(deadline)
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		parked := false
 		select {
 		case <-ch:
-			continue
-		case <-time.After(r.poll):
+		case <-idle:
+			parked = true
+		case <-timer.C:
 		}
+		cancel()
 		if moved() {
 			return nil
 		}
-		// No decision within the poll slice: probe for a parked
-		// transport.  A single short WaitIdle is enough — if it reports
-		// idle and the decision still has not arrived, the attempt is
-		// held (promise outstanding) and the drive loop should move on.
-		if r.tr.WaitIdle(r.poll) && !moved() {
+		if parked {
 			return nil
+		}
+		if notify == nil {
+			// No decision within the poll slice: probe for a parked
+			// transport.  A single short WaitIdle is enough — if it
+			// reports idle and the decision still has not arrived, the
+			// attempt is held (promise outstanding) and the drive loop
+			// should move on.
+			if r.tr.WaitIdle(r.poll) && !moved() {
+				return nil
+			}
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("arun: no decision for %s before timeout", sym)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/actor"
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/gprog"
 	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/spec"
@@ -42,8 +43,15 @@ type Plan struct {
 	siteOf  map[string]simnet.SiteID // base key → actor site
 	pos     map[string]actor.GuardSpec
 	neg     map[string]actor.GuardSpec
-	trig    []algebra.Symbol
-	sites   []simnet.SiteID // sorted distinct actor sites
+	// progs holds the compiled guard programs, one per base event,
+	// shared read-only across every instance's actors (each actor
+	// derives its own mutable gprog.State).  Nil when the plan was
+	// built with NoPrograms (the P14 ablation).
+	progs map[string]*gprog.Prog
+	// extraProg is the ⊤/⊤ program every out-of-alphabet extra shares.
+	extraProg *gprog.Prog
+	trig      []algebra.Symbol
+	sites     []simnet.SiteID // sorted distinct actor sites
 }
 
 // PlanOptions configure NewPlan.
@@ -58,6 +66,10 @@ type PlanOptions struct {
 	Observe bool
 	// Compiled reuses a pre-compiled workflow (optional).
 	Compiled *core.Compiled
+	// NoPrograms skips compiling the guards into bitset programs, so
+	// every actor decides through the formula trees alone — the
+	// before/after ablation of the P14 experiment.
+	NoPrograms bool
 }
 
 // NewPlan compiles (unless pre-compiled) and computes the shared
@@ -116,6 +128,18 @@ func NewPlan(sp *spec.Spec, opt PlanOptions) (*Plan, error) {
 		}
 		p.pos[b.Key()] = guardSpecFor(c, b)
 		p.neg[b.Key()] = guardSpecFor(c, b.Complement())
+	}
+	if !opt.NoPrograms {
+		p.progs = map[string]*gprog.Prog{}
+		for _, b := range p.bases {
+			pos, neg := p.pos[b.Key()], p.neg[b.Key()]
+			p.progs[b.Key()] = gprog.Compile(
+				gprog.GuardInput{Guard: pos.Guard, LocalNeg: pos.LocalNeg},
+				gprog.GuardInput{Guard: neg.Guard, LocalNeg: neg.LocalNeg})
+		}
+		p.extraProg = gprog.Compile(
+			gprog.GuardInput{Guard: temporal.TrueF()},
+			gprog.GuardInput{Guard: temporal.TrueF()})
 	}
 	for _, key := range sp.Triggerable() {
 		s, err := algebra.ParseSymbol(key)
@@ -259,16 +283,20 @@ func (p *Plan) build(tr Transport, opt RunnerOptions, quietTrace bool) (*runnerB
 		if !hosted(site) {
 			continue
 		}
-		host(site).add(attach(actor.New(b, site, p.dir, hooks, p.pos[b.Key()], p.neg[b.Key()])))
+		a := actor.New(b, site, p.dir, hooks, p.pos[b.Key()], p.neg[b.Key()])
+		a.AttachProgram(p.progs[b.Key()])
+		host(site).add(attach(a))
 	}
 	for _, x := range p.extras {
 		site := p.siteOf[x.Key()]
 		if !hosted(site) {
 			continue
 		}
-		host(site).add(attach(actor.New(x, site, p.dir, hooks,
+		a := actor.New(x, site, p.dir, hooks,
 			actor.GuardSpec{Guard: temporal.TrueF()},
-			actor.GuardSpec{Guard: temporal.TrueF()})))
+			actor.GuardSpec{Guard: temporal.TrueF()})
+		a.AttachProgram(p.extraProg)
+		host(site).add(attach(a))
 	}
 	for _, s := range p.trig {
 		if h, ok := hosts[p.siteOf[s.Base().Key()]]; ok {

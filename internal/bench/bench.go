@@ -102,6 +102,7 @@ func All() []Experiment {
 		{"P11", P11, "multi-instance engine throughput vs serial quiescence"},
 		{"P12", P12, "tracing overhead: disabled vs ring vs full capture"},
 		{"P13", P13, "WAL durability overhead: off vs on vs on+checkpoint"},
+		{"P14", P14, "flat guard programs: bitset delivery vs tree evaluation"},
 	}
 }
 

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gprog"
+	"repro/internal/simnet"
+	"repro/internal/spec"
+)
+
+// AllocsPerOp reports the average number of heap allocations per call
+// of f over runs calls — the allocs_per_op column of the experiment
+// tables.  It mirrors testing.AllocsPerRun: one warm-up call, then a
+// measured loop pinned to a single P so a concurrent collector's own
+// allocations do not pollute the count.
+func AllocsPerOp(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warm up: lazy tables, first-delivery transitions
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+// nsPerOp times f over runs calls.
+func nsPerOp(runs int, f func()) float64 {
+	f()
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(runs)
+}
+
+// deliveryNet is the do-nothing transport for the single-actor
+// delivery microbench: steady-state announcement assimilation sends
+// nothing.
+type deliveryNet struct{ occ int64 }
+
+func (n *deliveryNet) Send(from, to simnet.SiteID, payload any) {}
+func (n *deliveryNet) Now() simnet.Time                         { return 0 }
+func (n *deliveryNet) NextOccurrence() int64                    { n.occ++; return n.occ }
+func (n *deliveryNet) Clock() int64                             { return n.occ }
+
+// deliveryRig is the shared setup for the delivery microbenches: the
+// dense12 workflow compiled once, its terminal guard (e12 requires all
+// of e1..e11), and the compiled program shared by every actor the same
+// way a multi-instance plan shares one Prog across instances.
+type deliveryRig struct {
+	dir      *actor.Directory
+	pos, neg actor.GuardSpec
+	prog     *gprog.Prog
+}
+
+func newDeliveryRig() *deliveryRig {
+	sp := p11Dense(12, 4)
+	c, err := core.Compile(sp.Workflow)
+	if err != nil {
+		panic(err)
+	}
+	dir := actor.NewDirectory()
+	for _, b := range sp.Workflow.Alphabet().Bases() {
+		dir.Place(b, "s1")
+	}
+	e12 := sym("e12")
+	pos := actor.GuardSpec{Guard: c.GuardOf(e12)}
+	neg := actor.GuardSpec{Guard: c.GuardOf(e12.Complement())}
+	return &deliveryRig{
+		dir: dir, pos: pos, neg: neg,
+		prog: gprog.Compile(
+			gprog.GuardInput{Guard: pos.Guard, LocalNeg: pos.LocalNeg},
+			gprog.GuardInput{Guard: neg.Guard, LocalNeg: neg.LocalNeg}),
+	}
+}
+
+func (r *deliveryRig) actor(prog bool) *actor.Actor {
+	a := actor.New(sym("e12"), "s1", r.dir, &actor.Hooks{}, r.pos, r.neg)
+	if prog {
+		a.AttachProgram(r.prog)
+	}
+	return a
+}
+
+// steady returns a closure re-delivering one already-known
+// announcement to an actor parked in an inquiry round — the recheck
+// both paths perform on every delivery while a decision is pending,
+// and the row whose allocs_per_op must be zero in program mode.  The
+// payload is boxed once so the measurement sees the delivery itself,
+// not the benchmark's own interface conversion.
+func (r *deliveryRig) steady(prog bool) func() {
+	a := r.actor(prog)
+	net := &deliveryNet{}
+	a.Deliver(net, actor.AttemptMsg{Sym: sym("e12")}) // park in a round
+	var msg any = actor.AnnounceMsg{Sym: sym("e5"), At: 1}
+	return func() { a.Deliver(net, msg) }
+}
+
+// sweep returns a closure assimilating e1..e11 as fresh facts into a
+// fresh attempted actor — the fact-arrival path, where every delivery
+// re-decides the pending attempt: the tree re-reduces the shrinking
+// residual, the program flips a bit and rechecks by mask.  The final
+// fact fires e12.  Cost is reported per announcement; both modes pay
+// the same actor construction and attempt arming.
+func (r *deliveryRig) sweep(prog bool) func() {
+	var arm any = actor.AttemptMsg{Sym: sym("e12")}
+	msgs := make([]any, 0, 11)
+	for i := 1; i <= 11; i++ {
+		msgs = append(msgs, actor.AnnounceMsg{Sym: sym(fmt.Sprintf("e%d", i)), At: int64(i)})
+	}
+	net := &deliveryNet{}
+	return func() {
+		a := r.actor(prog)
+		a.Deliver(net, arm)
+		for _, m := range msgs {
+			a.Deliver(net, m)
+		}
+	}
+}
+
+// P14 measures the flat guard programs (DESIGN.md, decision 16): the
+// bitset-compiled delivery hot path against the formula-tree
+// evaluation it replaces, and the event-driven idle notification that
+// replaced the net transport's quiescence polling.  The tree rows run
+// the same build with NoPrograms (the ablation switch); verdict
+// equivalence of the two paths is property-tested and fuzzed in
+// internal/gprog, so the rows differ only in cost.
+func P14() *Table {
+	t := &Table{
+		ID:    "P14",
+		Title: "flat guard programs: bitset delivery + event-driven idle vs tree evaluation",
+		Header: []string{"scenario", "mode", "instances", "wall ms",
+			"ann/s", "ns/op", "allocs_per_op", "×tree"},
+	}
+
+	// Single-actor delivery microbenches over the dense12 terminal
+	// guard (11 watched events): steady-state recheck of a known fact,
+	// and assimilation of eleven fresh facts into a fresh actor.
+	rig := newDeliveryRig()
+	const deliveries = 20000
+	steadyTreeNS := nsPerOp(deliveries, rig.steady(false))
+	steadyTreeAllocs := AllocsPerOp(deliveries, rig.steady(false))
+	steadyProgNS := nsPerOp(deliveries, rig.steady(true))
+	steadyProgAllocs := AllocsPerOp(deliveries, rig.steady(true))
+	const sweeps = 3000
+	sweepTreeNS := nsPerOp(sweeps, rig.sweep(false)) / 11
+	sweepProgNS := nsPerOp(sweeps, rig.sweep(true)) / 11
+	t.Rows = append(t.Rows,
+		[]string{"steady dense12/e12", "tree", "-", "-", "-",
+			fmt.Sprintf("%.0f", steadyTreeNS), fmt.Sprintf("%.1f", steadyTreeAllocs), "1.0"},
+		[]string{"steady dense12/e12", "program", "-", "-", "-",
+			fmt.Sprintf("%.0f", steadyProgNS), fmt.Sprintf("%.1f", steadyProgAllocs),
+			fmt.Sprintf("%.1f", steadyTreeNS/steadyProgNS)},
+		[]string{"sweep dense12/e1..e11", "tree", "-", "-", "-",
+			fmt.Sprintf("%.0f", sweepTreeNS), "-", "1.0"},
+		[]string{"sweep dense12/e1..e11", "program", "-", "-", "-",
+			fmt.Sprintf("%.0f", sweepProgNS), "-",
+			fmt.Sprintf("%.1f", sweepTreeNS/sweepProgNS)})
+
+	// Engine throughput: 100 concurrent instances, program mode vs the
+	// NoPrograms ablation, on the simulator and the loopback TCP mesh.
+	travel, err := spec.ParseString(p10Travel)
+	if err != nil {
+		panic(err)
+	}
+	type cell struct {
+		name string
+		sp   *spec.Spec
+		mode engine.Mode
+	}
+	cells := []cell{
+		{"travel engine-sim", travel, engine.ModeSim},
+		{"dense12 engine-sim", p11Dense(12, 4), engine.ModeSim},
+		{"dense12 engine-net", p11Dense(12, 4), engine.ModeNet},
+	}
+	// Best of 5: single 100-instance runs finish in tens of
+	// milliseconds, where scheduler jitter swamps a single sample.
+	const reps = 5
+	best := func(c cell, prog bool) *engine.Result {
+		var top *engine.Result
+		for i := 0; i < reps; i++ {
+			res, err := engine.Run(c.sp, engine.Options{
+				Instances: 100, Mode: c.mode, Seed: 1996,
+				NoPrograms:  !prog,
+				IdleTimeout: 30 * time.Second,
+			})
+			if err != nil {
+				panic(err)
+			}
+			if top == nil || res.FiresPerSec() > top.FiresPerSec() {
+				top = res
+			}
+		}
+		return top
+	}
+	annSec := map[string]float64{}
+	for _, c := range cells {
+		var treeRate float64
+		for _, prog := range []bool{false, true} {
+			res := best(c, prog)
+			mode, speedup := "tree", "1.0"
+			if prog {
+				mode = "program"
+				speedup = fmt.Sprintf("%.1f", res.FiresPerSec()/treeRate)
+				annSec[c.name] = res.FiresPerSec()
+			} else {
+				treeRate = res.FiresPerSec()
+			}
+			t.Rows = append(t.Rows, []string{
+				c.name, mode, "100",
+				fmt.Sprintf("%.1f", res.Elapsed.Seconds()*1e3),
+				fmt.Sprintf("%.0f", res.FiresPerSec()),
+				"-", "-", speedup,
+			})
+		}
+	}
+	if sim, net := annSec["dense12 engine-sim"], annSec["dense12 engine-net"]; sim > 0 && net > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"dense12 net/sim gap in program mode: %.2fx — event-driven idle notification removed the quiescence-poll floor; the residue is loopback TCP round-trips, which the faster sim baseline widens",
+			sim/net))
+	}
+	t.Notes = append(t.Notes,
+		"tree rows are the NoPrograms ablation on the same build; both paths are verdict-identical (property-tested and fuzzed in internal/gprog)",
+		"program-mode delivery is allocation-free: set a bit, recheck affected guards by mask intersection (gated by make benchsmoke)")
+	return t
+}

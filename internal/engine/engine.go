@@ -75,6 +75,9 @@ type Options struct {
 	Fault *simnet.FaultPlan
 	// Compiled reuses a pre-compiled workflow (optional).
 	Compiled *core.Compiled
+	// NoPrograms disables the compiled guard programs, forcing every
+	// actor onto the formula-tree evaluation path — the P14 ablation.
+	NoPrograms bool
 	// IdleTimeout bounds each instance's waits (default 15s).
 	IdleTimeout time.Duration
 	// PollInterval is the pipelined decision-wait slice on the net
@@ -152,7 +155,7 @@ func Run(sp *spec.Spec, opt Options) (*Result, error) {
 	if opt.IdleTimeout <= 0 {
 		opt.IdleTimeout = 15 * time.Second
 	}
-	plan, err := arun.NewPlan(sp, arun.PlanOptions{Compiled: opt.Compiled})
+	plan, err := arun.NewPlan(sp, arun.PlanOptions{Compiled: opt.Compiled, NoPrograms: opt.NoPrograms})
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +246,7 @@ func runOne(plan *arun.Plan, eng *netEngine, sc *arun.Scratch, sat *arun.SatCach
 	if eng != nil {
 		inst := eng.newInstance(uint32(idx))
 		defer eng.remove(inst)
-		tr = inst.transport(opt.PollInterval)
+		tr = inst.transport()
 		ropt.Pipelined = true
 		ropt.PollInterval = opt.PollInterval
 	} else {
@@ -389,7 +392,7 @@ func (e *netEngine) remove(inst *instance) {
 type instance struct {
 	e    *netEngine
 	id   uint32
-	pend quiesce.Tracker
+	pend quiesce.NotifyTracker
 
 	// handlers/nets are written during NewRunner (before any message
 	// flows) and read by site handlers under the engine lock.
@@ -423,14 +426,10 @@ func (s *siteNet) Clock() int64                             { return s.node.Cloc
 // completion instead of mesh-wide quiescence.
 type instXport struct {
 	inst *instance
-	poll time.Duration
 }
 
-func (inst *instance) transport(poll time.Duration) *instXport {
-	if poll <= 0 {
-		poll = 200 * time.Microsecond
-	}
-	return &instXport{inst: inst, poll: poll}
+func (inst *instance) transport() *instXport {
+	return &instXport{inst: inst}
 }
 
 func (x *instXport) Register(site simnet.SiteID, h func(n actor.Net, payload any)) {
@@ -449,12 +448,21 @@ func (x *instXport) NextOccurrence() int64 { return x.inst.e.mesh.NextOccurrence
 
 func (x *instXport) Clock() int64 { return x.inst.e.mesh.Clock() }
 
-// WaitIdle blocks until this instance has no in-flight messages.  A
-// single zero observation suffices (see siteHandler); the poll slice
-// keeps the wait cheap enough for the pipelined parked-probe.
+// WaitIdle blocks until this instance has no in-flight messages,
+// sleeping until a completion pulse instead of polling.  A single zero
+// observation suffices (see siteHandler).
 func (x *instXport) WaitIdle(timeout time.Duration) bool {
-	return quiesce.WaitIdleFuncEvery(timeout, x.poll, 1, x.inst.pend.Pending)
+	return x.inst.pend.WaitIdle(timeout)
 }
+
+// IdleNow and IdleWait expose the tracker's event-driven idle signal
+// (arun.IdleNotifier): the runner's per-attempt wait selects on it
+// alongside the decision gate, so a parked instance is detected the
+// instant its last in-flight message completes — no poll slice, no
+// repeated quiescence probes between attempts.
+func (x *instXport) IdleNow() bool { return x.inst.pend.IdleNow() }
+
+func (x *instXport) IdleWait() (<-chan struct{}, func()) { return x.inst.pend.IdleWait() }
 
 // Close implements arun.Transport; the mesh outlives instances.
 func (x *instXport) Close() {}

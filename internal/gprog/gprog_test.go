@@ -1,0 +1,318 @@
+package gprog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/temporal"
+)
+
+// The tests here all prove one thing: the compiled bitset program is
+// verdict-identical to the tree-walking evaluator over
+// temporal.Knowledge — literal-for-literal mutator mirroring, the
+// permanent-facts view, the consensus-local virtual-hold overlay, and
+// the residual-guard chain actually used in tree mode.
+
+var testNames = []string{"a", "b", "c", "d", "e", "f"}
+
+func sym(name string, bar bool) algebra.Symbol {
+	s := algebra.Symbol{Name: name}
+	if bar {
+		s = s.Complement()
+	}
+	return s
+}
+
+func randSym(r *rand.Rand) algebra.Symbol {
+	return sym(testNames[r.Intn(len(testNames))], r.Intn(2) == 0)
+}
+
+// randFormula builds a random canonical sum-of-products guard.
+func randFormula(r *rand.Rand) temporal.Formula {
+	nprod := 1 + r.Intn(4)
+	prods := make([]temporal.Formula, 0, nprod)
+	for i := 0; i < nprod; i++ {
+		nlit := 1 + r.Intn(4)
+		lits := make([]temporal.Formula, 0, nlit)
+		for j := 0; j < nlit; j++ {
+			lits = append(lits, temporal.Lit(randLit(r)))
+		}
+		prods = append(prods, temporal.And(lits...))
+	}
+	return temporal.Or(prods...)
+}
+
+func randLit(r *rand.Rand) temporal.Literal {
+	switch r.Intn(3) {
+	case 0:
+		return temporal.Occurred(randSym(r))
+	case 1:
+		return temporal.NotYet(randSym(r))
+	default:
+		n := 1 + r.Intn(3)
+		syms := make([]algebra.Symbol, n)
+		for i := range syms {
+			syms[i] = randSym(r)
+		}
+		return temporal.Eventually(syms...)
+	}
+}
+
+// mutate applies one random mutation to both views and reports what it
+// did (for failure messages).
+func mutate(r *rand.Rand, k *temporal.Knowledge, st *State) string {
+	s := randSym(r)
+	switch r.Intn(7) {
+	case 0:
+		t := int64(r.Intn(20))
+		k.Observe(s, t)
+		st.Observe(s, t)
+		return "observe " + s.Key()
+	case 1:
+		k.Hold(s)
+		st.Hold(s)
+		return "hold " + s.Key()
+	case 2:
+		k.Unhold(s)
+		st.Unhold(s)
+		return "unhold " + s.Key()
+	case 3:
+		k.MarkImpossible(s)
+		st.MarkImpossible(s)
+		return "impossible " + s.Key()
+	case 4:
+		k.Promise(s)
+		st.Promise(s)
+		return "promise " + s.Key()
+	case 5:
+		k.CondPromise(s)
+		st.CondPromise(s)
+		return "condpromise " + s.Key()
+	default:
+		k.ClearCond(s)
+		st.ClearCond(s)
+		return "clearcond " + s.Key()
+	}
+}
+
+func TestCompileShapes(t *testing.T) {
+	top := GuardInput{Guard: temporal.TrueF()}
+	bot := GuardInput{Guard: temporal.FalseF()}
+	p := Compile(top, bot)
+	s := p.NewState()
+	if v := s.Decide(PolPos, false); v != temporal.True {
+		t.Fatalf("⊤ guard decided %v", v)
+	}
+	if v := s.Decide(PolNeg, false); v != temporal.False {
+		t.Fatalf("0 guard decided %v", v)
+	}
+	if v := s.Eval(PolPos); v != temporal.True {
+		t.Fatalf("⊤ guard evaluated %v", v)
+	}
+	if v := s.Eval(PolNeg); v != temporal.False {
+		t.Fatalf("0 guard evaluated %v", v)
+	}
+
+	a, b := sym("a", false), sym("b", false)
+	g := temporal.And(temporal.Lit(temporal.Occurred(a)), temporal.Lit(temporal.NotYet(b)))
+	p = Compile(GuardInput{Guard: g}, GuardInput{Guard: temporal.TrueF()})
+	s = p.NewState()
+	if v := s.Decide(PolPos, false); v != temporal.Unknown {
+		t.Fatalf("fresh []a·!b decided %v", v)
+	}
+	s.Observe(a, 1)
+	if v := s.Decide(PolPos, false); v != temporal.Unknown {
+		t.Fatalf("after []a, []a·!b decided %v", v)
+	}
+	s.Hold(b)
+	if v := s.Decide(PolPos, false); v != temporal.True {
+		t.Fatalf("after []a and hold b, []a·!b decided %v", v)
+	}
+	if v := s.Eval(PolPos); v != temporal.Unknown {
+		t.Fatalf("held b must not count permanently, got %v", v)
+	}
+	s.Unhold(b)
+	s.Observe(b, 2)
+	if v := s.Decide(PolPos, false); v != temporal.False {
+		t.Fatalf("after []b, []a·!b decided %v", v)
+	}
+}
+
+// TestMirrorsKnowledge drives random mutation sequences through a
+// Knowledge and a State in lockstep and demands identical Decide/Eval
+// verdicts for both polarities after every step — the bit-identical
+// equivalence the delivery fast path rests on.
+func TestMirrorsKnowledge(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		pos, neg := randFormula(r), randFormula(r)
+		p := Compile(GuardInput{Guard: pos}, GuardInput{Guard: neg})
+		st := p.NewState()
+		var k temporal.Knowledge
+		var log []string
+		for step := 0; step < 25; step++ {
+			log = append(log, mutate(r, &k, st))
+			for pol, g := range []temporal.Formula{pos, neg} {
+				if got, want := st.Decide(pol, false), k.Decide(g); got != want {
+					t.Fatalf("trial %d step %d: Decide(pol %d) = %v, knowledge says %v\nguard %s\nknow %s\nops %v",
+						trial, step, pol, got, want, g.Key(), k.String(), log)
+				}
+				if got, want := st.Eval(pol), k.Eval(g); got != want {
+					t.Fatalf("trial %d step %d: Eval(pol %d) = %v, knowledge says %v\nguard %s\nknow %s\nops %v",
+						trial, step, pol, got, want, g.Key(), k.String(), log)
+				}
+			}
+		}
+	}
+}
+
+// TestResidualChainAgreement replays protocol-like monotone fact
+// sequences — each event observed at most once, never after its
+// complement, with transient holds — and checks the program's verdict
+// on the original guard against the tree path's verdict on the
+// Reduce-residual chain, which is what actor.decide actually computes.
+func TestResidualChainAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		g := randFormula(r)
+		p := Compile(GuardInput{Guard: g}, GuardInput{Guard: temporal.TrueF()})
+		st := p.NewState()
+		var k temporal.Knowledge
+		residual := g
+		now := int64(0)
+		held := map[string]algebra.Symbol{}
+		for step := 0; step < 20; step++ {
+			s := randSym(r)
+			switch r.Intn(4) {
+			case 0: // observe, protocol-style: only undecided events occur
+				if k.Status(s) == temporal.StatusUnknown || k.Status(s) == temporal.StatusHeld {
+					now++
+					k.Observe(s, now)
+					st.Observe(s, now)
+					delete(held, s.Key())
+					delete(held, s.Complement().Key())
+				}
+			case 1: // hold (inquiry round claim)
+				k.Hold(s)
+				st.Hold(s)
+				if k.Status(s) == temporal.StatusHeld {
+					held[s.Key()] = s
+				}
+			case 2: // release
+				k.Unhold(s)
+				st.Unhold(s)
+				delete(held, s.Key())
+			case 3: // learned impossibility (inquiry reply)
+				if k.Status(s) == temporal.StatusUnknown {
+					k.MarkImpossible(s)
+					st.MarkImpossible(s)
+				}
+			}
+			residual = k.Reduce(residual)
+			if got, want := st.Eval(PolPos) == temporal.False, residual.IsFalse(); got != want {
+				t.Fatalf("trial %d step %d: program false=%v, residual %s false=%v (guard %s, know %s)",
+					trial, step, got, residual.Key(), want, g.Key(), k.String())
+			}
+			if got, want := st.Decide(PolPos, false), k.Decide(residual); got != want {
+				t.Fatalf("trial %d step %d: program Decide=%v, tree Decide(residual %s)=%v (guard %s, know %s)",
+					trial, step, got, residual.Key(), want, g.Key(), k.String())
+			}
+		}
+	}
+}
+
+// TestLocalOverlay checks the consensus-local virtual-hold overlay
+// against the tree path's clone-and-hold view.
+func TestLocalOverlay(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		g := randFormula(r)
+		ln := map[string]algebra.Symbol{}
+		for i := 0; i < 1+r.Intn(3); i++ {
+			s := randSym(r)
+			ln[s.Key()] = s
+		}
+		p := Compile(GuardInput{Guard: g, LocalNeg: ln}, GuardInput{Guard: temporal.TrueF()})
+		st := p.NewState()
+		var k temporal.Knowledge
+		for step := 0; step < 15; step++ {
+			mutate(r, &k, st)
+			view := k.Clone()
+			for _, f := range ln {
+				if view.Status(f) == temporal.StatusUnknown {
+					view.Hold(f)
+				}
+			}
+			if got, want := st.Decide(PolPos, true), view.Decide(g); got != want {
+				t.Fatalf("trial %d step %d: overlay Decide=%v, clone view says %v (guard %s, know %s, ln %v)",
+					trial, step, got, want, g.Key(), k.String(), ln)
+			}
+			// With localClean false the overlay must not apply.
+			if got, want := st.Decide(PolPos, false), k.Decide(g); got != want {
+				t.Fatalf("trial %d step %d: plain Decide=%v, knowledge says %v", trial, step, got, want)
+			}
+		}
+	}
+}
+
+// TestSync rebuilds a state from an arbitrary knowledge and demands
+// verdict equality — the snapshot-restore path.
+func TestSync(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		pos, neg := randFormula(r), randFormula(r)
+		p := Compile(GuardInput{Guard: pos}, GuardInput{Guard: neg})
+		var k temporal.Knowledge
+		scratch := p.NewState()
+		for step := 0; step < 15; step++ {
+			mutate(r, &k, scratch)
+		}
+		st := p.NewState()
+		st.Sync(&k)
+		for pol, g := range []temporal.Formula{pos, neg} {
+			if got, want := st.Decide(pol, false), k.Decide(g); got != want {
+				t.Fatalf("trial %d: synced Decide(pol %d)=%v, knowledge says %v", trial, pol, got, want)
+			}
+			if got, want := st.Eval(pol), k.Eval(g); got != want {
+				t.Fatalf("trial %d: synced Eval(pol %d)=%v, knowledge says %v", trial, pol, got, want)
+			}
+		}
+	}
+}
+
+// TestWideGuardSpill exercises the multi-word (>64 literals) path.
+func TestWideGuardSpill(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	// 90 distinct □ literals over 90 symbols: forces 2 words.
+	var prods []temporal.Formula
+	var syms []algebra.Symbol
+	for i := 0; i < 90; i++ {
+		s := algebra.Symbol{Name: "w" + string(rune('A'+i/26)) + string(rune('a'+i%26))}
+		syms = append(syms, s)
+		prods = append(prods, temporal.Lit(temporal.Occurred(s)))
+	}
+	// One wide conjunction plus the 90 singletons as alternatives.
+	var wide []temporal.Formula
+	for _, s := range syms {
+		wide = append(wide, temporal.Lit(temporal.Occurred(s)))
+	}
+	g := temporal.And(wide...)
+	p := Compile(GuardInput{Guard: g}, GuardInput{Guard: temporal.TrueF()})
+	if p.Lits() <= 64 {
+		t.Fatalf("expected >64 literal slots, got %d", p.Lits())
+	}
+	st := p.NewState()
+	var k temporal.Knowledge
+	perm := r.Perm(len(syms))
+	for i, idx := range perm {
+		if got, want := st.Decide(PolPos, false), k.Decide(g); got != want {
+			t.Fatalf("wide step %d: Decide=%v, knowledge says %v", i, got, want)
+		}
+		k.Observe(syms[idx], int64(i+1))
+		st.Observe(syms[idx], int64(i+1))
+	}
+	if v := st.Decide(PolPos, false); v != temporal.True {
+		t.Fatalf("all observed: Decide=%v", v)
+	}
+}

@@ -89,6 +89,77 @@ func WaitIdleFuncEvery(timeout, poll time.Duration, stability int, pending func(
 	return pending() == 0
 }
 
+// NotifyTracker is a Tracker whose completions can wake parked
+// waiters: Done pulses a gate when the count transitions to zero while
+// a waiter is registered, so an idle wait sleeps until a completion
+// instead of burning poll slices.  Acting on a single zero observation
+// is sound only under the overlap property described in the package
+// comment — the per-instance accounting of internal/engine has it.
+// The zero value is ready to use.
+type NotifyTracker struct {
+	pending atomic.Int64
+	waiters atomic.Int32
+	gate    Gate
+}
+
+// Add records n new pending items.
+func (t *NotifyTracker) Add(n int64) { t.pending.Add(n) }
+
+// Done records one completion, waking idle waiters when the count
+// transitions to zero.  The waiter check keeps the uncontended hot
+// path to one atomic add plus one atomic load — no mutex, no channel
+// churn — while anyone parked still gets an immediate pulse.  Both
+// sides write their flag before reading the other's (sequentially
+// consistent), so a registered waiter either sees zero on its own
+// re-check or is seen here and pulsed; no wakeup is lost.
+func (t *NotifyTracker) Done() {
+	if t.pending.Add(-1) == 0 && t.waiters.Load() > 0 {
+		t.gate.Pulse()
+	}
+}
+
+// Pending returns the current number of pending items.
+func (t *NotifyTracker) Pending() int64 { return t.pending.Load() }
+
+// IdleNow reports whether the tracker reads zero right now.
+func (t *NotifyTracker) IdleNow() bool { return t.pending.Load() == 0 }
+
+// IdleWait registers a waiter and returns the channel the next
+// zero-transition closes, plus a cancel that must be called once the
+// wait is over (however it ended).  A transition that completed before
+// registration never pulses, so the caller must re-check IdleNow after
+// taking the channel and before blocking on it.
+func (t *NotifyTracker) IdleWait() (idle <-chan struct{}, cancel func()) {
+	t.waiters.Add(1)
+	return t.gate.Chan(), func() { t.waiters.Add(-1) }
+}
+
+// WaitIdle blocks until the tracker reads zero or the timeout elapses,
+// sleeping between completions instead of polling.  It reports whether
+// quiescence was reached.
+func (t *NotifyTracker) WaitIdle(timeout time.Duration) bool {
+	if t.pending.Load() == 0 {
+		return true
+	}
+	_, cancel := t.IdleWait()
+	defer cancel()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		// Take the channel first, then re-check: a pulse between the
+		// check and the select closes the channel we already hold.
+		ch := t.gate.Chan()
+		if t.pending.Load() == 0 {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return t.pending.Load() == 0
+		}
+	}
+}
+
 // Gate is a reusable broadcast signal: waiters take the current
 // channel with Chan and block on it; Pulse closes that channel
 // (waking everyone) and installs a fresh one.  It lets a waiter sleep

@@ -133,6 +133,103 @@ func TestConcurrentArmSettle(t *testing.T) {
 	}
 }
 
+// TestNotifyTrackerWaitIdle mirrors TestWaitIdleStableZero on the
+// event-driven tracker: idle immediately when zero, refuses while
+// pending, and wakes on the drain without polling.
+func TestNotifyTrackerWaitIdle(t *testing.T) {
+	var tr NotifyTracker
+	if !tr.WaitIdle(time.Second) {
+		t.Fatal("idle tracker did not report idle")
+	}
+	tr.Add(1)
+	if tr.WaitIdle(20 * time.Millisecond) {
+		t.Fatal("busy tracker reported idle")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- tr.WaitIdle(5 * time.Second) }()
+	time.Sleep(time.Millisecond)
+	tr.Done()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("waiter woken but not idle")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("drain did not wake the waiter")
+	}
+}
+
+// TestNotifyTrackerIdleWait covers the select-integration contract:
+// a registered waiter's channel closes on the zero-transition, and a
+// transition that completed before registration is caught by the
+// mandatory IdleNow re-check, never by a pulse.
+func TestNotifyTrackerIdleWait(t *testing.T) {
+	var tr NotifyTracker
+	tr.Add(1)
+	ch, cancel := tr.IdleWait()
+	if tr.IdleNow() {
+		t.Fatal("IdleNow with one pending")
+	}
+	tr.Done()
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("zero-transition did not pulse a registered waiter")
+	}
+	cancel()
+
+	// Drain with no waiter registered, then register: no pulse is owed,
+	// the re-check is what must catch it.
+	tr.Add(1)
+	tr.Done()
+	ch, cancel = tr.IdleWait()
+	defer cancel()
+	if !tr.IdleNow() {
+		t.Fatal("IdleNow false after drain")
+	}
+	select {
+	case <-ch:
+		t.Fatal("pre-registration transition pulsed the new channel")
+	default:
+	}
+}
+
+// TestNotifyTrackerConcurrent hammers concurrent completions against
+// concurrently arming waiters — the lost-wakeup shape under -race.
+func TestNotifyTrackerConcurrent(t *testing.T) {
+	var tr NotifyTracker
+	const workers = 8
+	const items = 200
+	var wg sync.WaitGroup
+	tr.Add(workers * items)
+	var results [4]atomic.Bool
+	for i := range results {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			results[slot].Store(tr.WaitIdle(5 * time.Second))
+		}(i)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				tr.Done()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Pending(); got != 0 {
+		t.Fatalf("Pending after settle = %d", got)
+	}
+	for i := range results {
+		if !results[i].Load() {
+			t.Errorf("waiter %d missed the settle", i)
+		}
+	}
+}
+
 // TestGatePulse: waiters on the current channel wake on Pulse, and a
 // fresh channel is armed for the next round.
 func TestGatePulse(t *testing.T) {

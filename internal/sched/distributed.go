@@ -7,9 +7,16 @@ import (
 	"repro/internal/actor"
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/gprog"
 	"repro/internal/simnet"
 	"repro/internal/temporal"
 )
+
+// trueProg is the shared compiled ⊤/⊤ program for unconstrained
+// actors created lazily at attempt time.
+var trueProg = gprog.Compile(
+	gprog.GuardInput{Guard: temporal.TrueF()},
+	gprog.GuardInput{Guard: temporal.TrueF()})
 
 // siteHost demultiplexes the messages arriving at one site among the
 // actors and agents living there.
@@ -110,8 +117,10 @@ func (d *distributedSubmitter) ensureActor(s algebra.Symbol, origin simnet.SiteI
 	}
 	b := s.Base()
 	d.dir.Place(b, origin)
-	h.addActor(b.Key(), actor.New(b, origin, d.dir, d.hooks,
-		actor.GuardSpec{Guard: temporal.TrueF()}, actor.GuardSpec{Guard: temporal.TrueF()}))
+	a := actor.New(b, origin, d.dir, d.hooks,
+		actor.GuardSpec{Guard: temporal.TrueF()}, actor.GuardSpec{Guard: temporal.TrueF()})
+	a.AttachProgram(trueProg)
+	h.addActor(b.Key(), a)
 	return origin
 }
 
@@ -145,8 +154,11 @@ func installDistributed(n *simnet.Network, c *core.Compiled, pl Placement,
 	}
 	for _, b := range bases {
 		site := pl.SiteFor(b)
-		a := actor.New(b, site, dir, hooks,
-			guardSpec(c, b, noElim), guardSpec(c, b.Complement(), noElim))
+		pos, neg := guardSpec(c, b, noElim), guardSpec(c, b.Complement(), noElim)
+		a := actor.New(b, site, dir, hooks, pos, neg)
+		a.AttachProgram(gprog.Compile(
+			gprog.GuardInput{Guard: pos.Guard, LocalNeg: pos.LocalNeg},
+			gprog.GuardInput{Guard: neg.Guard, LocalNeg: neg.LocalNeg}))
 		host(site).addActor(b.Key(), a)
 		for _, polKey := range []string{b.Key(), b.Complement().Key()} {
 			eg := c.Guards[polKey]

@@ -1,0 +1,124 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+// TestCanonTable pins the simplifier's canonical forms: unit and
+// absorbing elements, entailment-aware absorption, unsatisfiable
+// product removal, and the consensus closure that reproduces the
+// paper's Example 9 reduction.
+func TestCanonTable(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unit-true", "T + !f", "T"},
+		{"unit-false", "0 + []e", "[]e"},
+		{"absorbing-false", "0 | []e", "0"},
+		{"idempotent-sum", "[]e + []e", "[]e"},
+		{"absorb-stronger", "[]e + []e | []f", "[]e"},
+		{"absorb-eventually", "<>(e) + []e", "<>(e)"},
+		{"unsat-product", "[]e | !e", "0"},
+		{"unsat-complements", "[]e | []~e", "0"},
+		{"consensus-notyet-occurred", "!e + []e", "T"},
+		{"consensus-eventually", "<>(e) + !e | <>(~e)", "T"},
+		{"consensus-partial", "<>(~e) | !e | !~e + []e + []~e", "<>(~e) + []e"},
+		{"example9", "!f | !~f | <>(~f) + !f | <>(f) + []~f", "!f"},
+		{"example9-reordered", "[]~f + !f | <>(f) + !f | !~f | <>(~f)", "!f"},
+		{"seq-absorbs-longer", "<>(e) + <>(e . f)", "<>(e)"},
+	}
+	for _, c := range cases {
+		got, err := ParseFormula(c.src)
+		if err != nil {
+			t.Errorf("%s: ParseFormula(%q): %v", c.name, c.src, err)
+			continue
+		}
+		if got.Key() != c.want {
+			t.Errorf("%s: canon(%q) = %q, want %q", c.name, c.src, got.Key(), c.want)
+		}
+	}
+}
+
+// litPool is the literal universe for the randomized simplifier tests:
+// ground events with both polarities under all three temporal
+// operators, plus sequenced eventualities.
+func litPool() []Literal {
+	var pool []Literal
+	for _, k := range []string{"e", "~e", "f", "~f", "g"} {
+		pool = append(pool, Occurred(sym(k)), NotYet(sym(k)), Eventually(sym(k)))
+	}
+	return append(pool,
+		Eventually(sym("e"), sym("f")),
+		Eventually(sym("g"), sym("~f")),
+		Eventually(sym("~e"), sym("g")))
+}
+
+func randProducts(r *rand.Rand, pool []Literal) []Product {
+	prods := make([]Product, 0, 4)
+	for len(prods) < 1+r.Intn(4) {
+		lits := make([]Literal, 0, 3)
+		for n := 1 + r.Intn(3); len(lits) < n; {
+			lits = append(lits, pool[r.Intn(len(pool))])
+		}
+		if p, ok := newProduct(lits); ok {
+			prods = append(prods, p)
+		}
+	}
+	return prods
+}
+
+// TestCanonOrderIndependence: the consensus closure is a fixpoint over
+// a keyed work set, so the canonical key must not depend on the order
+// products are fed in.
+func TestCanonOrderIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(96))
+	pool := litPool()
+	for trial := 0; trial < 300; trial++ {
+		prods := randProducts(r, pool)
+		want := canonCompute(prods).Key()
+		for shuffle := 0; shuffle < 4; shuffle++ {
+			r.Shuffle(len(prods), func(i, j int) { prods[i], prods[j] = prods[j], prods[i] })
+			if got := canonCompute(prods).Key(); got != want {
+				t.Fatalf("trial %d: canon depends on product order: %q vs %q", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestCanonSemanticsWideUniverse extends the semantics-preservation
+// property of TestCanonPreservesSemantics (formula_test.go, 2-event
+// alphabet) to a 3-event alphabet whose extra symbol participates only
+// through sequenced eventualities — the shapes the consensus closure
+// recombines.  Canonicalization may only restate the sum, never change
+// its denotation.
+func TestCanonSemanticsWideUniverse(t *testing.T) {
+	a := algebra.NewAlphabet()
+	for _, n := range []string{"e", "f", "g"} {
+		a.AddPair(algebra.Sym(n))
+	}
+	mu := algebra.MaximalUniverse(a)
+	r := rand.New(rand.NewSource(1996))
+	pool := litPool()
+	for trial := 0; trial < 120; trial++ {
+		prods := randProducts(r, pool)
+		f := canonCompute(prods)
+		for _, u := range mu {
+			for i := 0; i <= len(u); i++ {
+				raw := false
+				for _, p := range prods {
+					if p.EvalAt(u, i) {
+						raw = true
+						break
+					}
+				}
+				if got := f.EvalAt(u, i); got != raw {
+					t.Fatalf("trial %d: canon changed semantics at %v[%d]: raw=%v canon=%v (%v -> %q)",
+						trial, u, i, raw, got, prods, f.Key())
+				}
+			}
+		}
+	}
+}
