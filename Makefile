@@ -6,15 +6,16 @@
 #   make tracecheck  golden-replay determinism + trace invariants over the chaos suite
 #   make enginestress  256-instance engine stress under -race, uncached
 #   make crashcheck  WAL kill/restart recovery suite, uncached
+#   make servecheck  wfserve daemon acceptance: 1000+ instances, shed, drain, WAL recovery
 #   make benchsmoke  compile-and-run every benchmark once
 #   make fuzzsmoke   brief run of every fuzz target
 #   make bench       the P* cost benchmarks (informational)
 
 GO ?= go
 
-.PHONY: ci build vet test race enginestress tracecheck crashcheck bench benchsmoke fuzzsmoke
+.PHONY: ci build vet test race enginestress tracecheck crashcheck servecheck bench benchsmoke fuzzsmoke
 
-ci: build vet test race enginestress tracecheck crashcheck benchsmoke fuzzsmoke
+ci: build vet test race enginestress tracecheck crashcheck servecheck benchsmoke fuzzsmoke
 
 build:
 	$(GO) build ./...
@@ -33,7 +34,7 @@ test:
 # with their single-owner consumers (param), whose equivalence property
 # tests double as concurrency stress under -race.
 race:
-	$(GO) test -race ./internal/core ./internal/livenet ./internal/netwire ./internal/arun ./internal/engine ./cmd/wfnet ./internal/actor ./internal/temporal ./internal/param ./internal/obs/...
+	$(GO) test -race ./internal/core ./internal/livenet ./internal/netwire ./internal/arun ./internal/engine ./cmd/wfnet ./internal/serve ./internal/drain ./cmd/wfserve ./internal/actor ./internal/temporal ./internal/param ./internal/obs/...
 
 # The multi-instance engine's 256-instance stress run, always uncached
 # and under the race detector: the worker pool, the shared plan, the
@@ -58,6 +59,16 @@ tracecheck:
 crashcheck:
 	$(GO) test -count=1 -run 'TestCrashRestartChaos|TestSnapshotRecovery' ./internal/netwire
 
+# The serving gate, always uncached and under -race: the daemon hosts
+# two distinct specs, serves 1000+ concurrent instances over the HTTP
+# API with verdicts matching the engine's sim oracle per seed, sheds
+# with 429 + Retry-After past the mailbox watermark without corrupting
+# in-flight instances, drains cleanly, and recovers registrations and
+# incomplete external instances from the per-tenant WAL on restart.
+servecheck:
+	$(GO) test -race -count=1 -run 'TestServeCheck|TestShedBackpressure|TestExternalInstanceOverWire' ./internal/serve
+	$(GO) test -race -count=1 -run 'TestDaemonDrainAndRecover|TestDaemonCrashRecovery' ./cmd/wfserve
+
 # Every benchmark must still compile and survive one iteration (keeps
 # the perf harness from rotting between measurement sessions), and the
 # zero-allocation contracts on the two hot paths — wire encoding and
@@ -74,6 +85,9 @@ fuzzsmoke:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=2s ./internal/spec
 	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=2s ./internal/wal
 	$(GO) test -run=NONE -fuzz=FuzzGuardProgram -fuzztime=2s ./internal/gprog
+	$(GO) test -run=NONE -fuzz=FuzzSpecUpload -fuzztime=2s ./internal/serve
+	$(GO) test -run=NONE -fuzz=FuzzLaunchBody -fuzztime=2s ./internal/serve
+	$(GO) test -run=NONE -fuzz=FuzzAnnounceBody -fuzztime=2s ./internal/serve
 
 bench:
 	$(GO) test -bench 'BenchmarkP' -benchtime 1x ./...

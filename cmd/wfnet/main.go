@@ -60,6 +60,7 @@ import (
 
 	"repro/internal/actor"
 	"repro/internal/arun"
+	"repro/internal/drain"
 	"repro/internal/netwire"
 	"repro/internal/obs"
 	"repro/internal/simnet"
@@ -199,6 +200,23 @@ func runServe(sp *spec.Spec, cfg serveConfig, stdin io.Reader, stdout, stderr io
 		fmt.Fprintln(stderr, "wfnet:", err)
 		return 1
 	}
+	// SIGTERM/SIGINT is a graceful drain, not a mid-write kill: settle
+	// in-flight frames, checkpoint the WAL watermarks, close the node,
+	// exit 0.  A second signal while draining force-exits (130).
+	// Installed before the ADDR handshake so a supervisor can signal
+	// the worker the moment it knows the address.
+	dh := drain.Notify(func(sig os.Signal) {
+		if cfg.logf != nil {
+			cfg.logf("wfnet: %v: draining", sig)
+		}
+		node.WaitIdle(2 * time.Second)
+		if err := node.Checkpoint(); err != nil && cfg.logf != nil {
+			cfg.logf("wfnet: checkpoint: %v", err)
+		}
+		node.Close()
+		os.Exit(0)
+	})
+	defer dh.Stop()
 	fmt.Fprintf(stdout, "ADDR %s\n", addr)
 
 	if cfg.peers != "" {

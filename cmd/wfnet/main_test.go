@@ -1,10 +1,17 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"repro/internal/wal"
 )
 
 // TestMain lets this test binary stand in for the wfnet executable:
@@ -67,4 +74,71 @@ func TestUsageErrors(t *testing.T) {
 	if code := run([]string{"-serve", "../../testdata/travel.wf"}, strings.NewReader(""), &out, &errb); code != 2 {
 		t.Errorf("-serve without -sites: exit %d, want 2", code)
 	}
+}
+
+// TestWorkerSignalDrain: a SIGTERM'd worker drains instead of dying
+// mid-write — it checkpoints its WAL, exits 0 (not the signal default
+// 143), and leaves a log a restart can open and recover.
+func TestWorkerSignalDrain(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := t.TempDir()
+	cmd := exec.Command(exe,
+		"-serve", "-index", "1", "-sites", "buy,book",
+		"-peers", "ctl=127.0.0.1:1",
+		"-wal", walDir, "../../testdata/travel.wf")
+	cmd.Env = append(os.Environ(), serveEnv+"=1")
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(out)
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), "ADDR ") {
+		cmd.Process.Kill()
+		t.Fatalf("no ADDR handshake, got %q", sc.Text())
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("signalled worker exited dirty: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("worker did not exit after SIGTERM")
+	}
+
+	// The drain checkpointed: the worker's log is non-empty and a
+	// restart can open (i.e. recover) it without error.
+	dir := filepath.Join(walDir, "proc1")
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no WAL left behind: %v (%d entries)", err, len(entries))
+	}
+	var logBytes int64
+	for _, e := range entries {
+		if fi, err := e.Info(); err == nil {
+			logBytes += fi.Size()
+		}
+	}
+	if logBytes == 0 {
+		t.Fatal("WAL files are empty; drain wrote no checkpoint")
+	}
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("drained WAL not recoverable: %v", err)
+	}
+	if l.Recovery() == nil {
+		t.Fatal("no recovery state from drained WAL")
+	}
+	l.Close()
 }

@@ -1,0 +1,88 @@
+package arun
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+)
+
+// Externally-driven runs.  Run drives a spec's scripted agents to
+// completion in one call; a serving daemon instead keeps a Runner open
+// and feeds it attempts as they arrive over the wire — each announce
+// is one Attempt, and Finish closes the run out when the caller (or a
+// drain) decides no more events are coming.  Both entry points reuse
+// the same attempt submission and closeout passes as Run, so an
+// externally-fed instance reaches the same outcome fingerprint as a
+// scripted run that attempted the same events in the same order.
+
+// Attempt submits one externally-originated attempt of sym from the
+// driver site and waits for the run to settle.  It reports whether a
+// decision for this symbol arrived (an attempt can legally park behind
+// an outstanding inquiry — a later attempt or Finish resolves it) and,
+// when decided, whether the event was accepted.  Callers must
+// serialize Attempt/Finish per Runner.
+func (r *Runner) Attempt(sym algebra.Symbol, forced bool) (decided, accepted bool, err error) {
+	if _, err := r.plan.siteFor(sym); err != nil {
+		return false, false, err
+	}
+	if err := r.attempt(sym, forced); err != nil {
+		return false, false, err
+	}
+	if r.pipelined {
+		// Per-attempt completion proved the decision or a park, but the
+		// decision may still be in flight; settle before reading.
+		if !r.tr.WaitIdle(r.timeout) {
+			return false, false, fmt.Errorf("arun: transport did not quiesce after external attempt %s", sym)
+		}
+	}
+	d, ok := r.takeDecision(sym.Key())
+	if !ok {
+		return false, false, nil
+	}
+	return true, d.Accepted, nil
+}
+
+// Resolved reports whether either polarity of base has occurred — the
+// serving layer's per-event status probe.
+func (r *Runner) Resolved(base algebra.Symbol) bool { return r.resolved(base) }
+
+// Finish closes an externally-driven run out to a maximal trace and
+// returns the outcome: the same complement-then-positive passes as
+// Run, minus the agent drive.  For every unresolved base event it
+// first attempts the complement ("this will never occur"); where that
+// is refused — the event is obligated — it attempts the event itself.
+// Idempotent in effect: once every base is resolved the passes are
+// no-ops and the outcome is stable.
+func (r *Runner) Finish() (*Outcome, error) {
+	triedComp := map[string]bool{}
+	triedPos := map[string]bool{}
+	for pass := 0; pass < 2*len(r.plan.bases)+4; pass++ {
+		progress := false
+		for _, b := range r.plan.bases {
+			if r.resolved(b) {
+				continue
+			}
+			switch {
+			case !triedComp[b.Key()]:
+				triedComp[b.Key()] = true
+				if err := r.attempt(b.Complement(), false); err != nil {
+					return nil, err
+				}
+				progress = true
+			case !triedPos[b.Key()]:
+				triedPos[b.Key()] = true
+				if err := r.attempt(b, false); err != nil {
+					return nil, err
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	if !r.tr.WaitIdle(r.timeout) {
+		return nil, fmt.Errorf("arun: transport did not quiesce at finish")
+	}
+	return r.outcome(), nil
+}

@@ -157,6 +157,10 @@ func NewPlan(sp *spec.Spec, opt PlanOptions) (*Plan, error) {
 // Compiled returns the plan's compiled workflow.
 func (p *Plan) Compiled() *core.Compiled { return p.c }
 
+// Spec returns the spec the plan was built from (read-only by
+// convention: plans are shared across concurrent runners).
+func (p *Plan) Spec() *spec.Spec { return p.sp }
+
 // Sites returns the plan's sorted distinct actor sites.
 func (p *Plan) Sites() []simnet.SiteID {
 	return append([]simnet.SiteID(nil), p.sites...)

@@ -103,6 +103,7 @@ func All() []Experiment {
 		{"P12", P12, "tracing overhead: disabled vs ring vs full capture"},
 		{"P13", P13, "WAL durability overhead: off vs on vs on+checkpoint"},
 		{"P14", P14, "flat guard programs: bitset delivery vs tree evaluation"},
+		{"P15", P15, "wfserve service throughput vs arrival rate, WAL off/on"},
 	}
 }
 

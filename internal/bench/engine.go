@@ -17,6 +17,16 @@ import (
 // engine compiles once and shares the satisfaction cache across all
 // instances, which is exactly the amortization P11 measures.
 func p11Dense(n, sites int) *spec.Spec {
+	sp, err := spec.ParseString(p11DenseSrc(n, sites))
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// p11DenseSrc is the dense scenario as .wf source (P15 registers it
+// with the serving layer by text).
+func p11DenseSrc(n, sites int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "workflow dense%d\n", n)
 	for i := 2; i <= n; i++ {
@@ -31,11 +41,7 @@ func p11Dense(n, sites int) *spec.Spec {
 	for i := 1; i <= n; i++ {
 		fmt.Fprintf(&b, "  step e%d think=5\n", i)
 	}
-	sp, err := spec.ParseString(b.String())
-	if err != nil {
-		panic(err)
-	}
-	return sp
+	return b.String()
 }
 
 // P11 measures multi-instance throughput: N concurrent instances of

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// P15 measures the serving layer (internal/serve): an open-loop
+// launcher admits a mixed-spec stream of instances at fixed arrival
+// rates against a live server, with and without the durable WAL on
+// the admission path.  Completion latency quantiles come from the
+// serve.instance_us histogram (snapshot diff per cell), announcement
+// throughput from the actor.announcements counter.  Admissions the
+// sheding watermarks refuse are counted, not retried — an open-loop
+// client does not slow down for the server.
+func P15() *Table {
+	t := &Table{
+		ID:    "P15",
+		Title: "wfserve: mixed-spec service throughput vs arrival rate, WAL off/on",
+		Header: []string{"arrival/s", "wal", "admitted", "shed", "wall ms",
+			"p50 ms", "p99 ms", "ann/s", "inst/s"},
+		Notes: []string{
+			"open-loop launcher, alternating travel and dense6 instances, seeds 0..n-1",
+			"wal=on journals every admission durably (group commit) before the launch returns",
+			"p50/p99 from serve.instance_us; ann/s from the actor.announcements diff",
+		},
+	}
+
+	const n = 1000
+	rates := []int{1000, 4000, 16000}
+	denseSrc := p11DenseSrc(6, 3)
+
+	for _, withWAL := range []bool{false, true} {
+		for _, rate := range rates {
+			cfg := serve.Config{Shards: 8, MailboxDepth: 4 * n}
+			walLabel := "off"
+			if withWAL {
+				dir, err := os.MkdirTemp("", "p15wal")
+				if err != nil {
+					panic(err)
+				}
+				defer os.RemoveAll(dir)
+				cfg.WALRoot = dir
+				walLabel = "on"
+			}
+			s, err := serve.NewServer(cfg)
+			if err != nil {
+				panic(err)
+			}
+			if _, rerr := s.RegisterSpec("bench", "travel", p10Travel); rerr != nil {
+				panic(rerr)
+			}
+			if _, rerr := s.RegisterSpec("bench", "dense6", denseSrc); rerr != nil {
+				panic(rerr)
+			}
+
+			before := obs.Default.Snapshot()
+			start := time.Now()
+			interval := time.Second / time.Duration(rate)
+			admitted, shed := 0, 0
+			next := start
+			for i := 0; i < n; i++ {
+				name := "travel"
+				if i%2 == 1 {
+					name = "dense6"
+				}
+				if _, rerr := s.Launch("bench", name, serve.ModeScripted, int64(i)); rerr != nil {
+					shed++
+				} else {
+					admitted++
+				}
+				next = next.Add(interval)
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			// Settle: every admission completes (drain finishes stragglers).
+			deadline := time.Now().Add(60 * time.Second)
+			for s.Stats().Active > 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			s.Drain()
+			wall := time.Since(start)
+			diff := obs.Default.Snapshot().Diff(before)
+
+			inst, _ := diff.Get("serve.instance_us")
+			ann, _ := diff.Get("actor.announcements")
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", rate),
+				walLabel,
+				fmt.Sprintf("%d", admitted),
+				fmt.Sprintf("%d", shed),
+				fmt.Sprintf("%.0f", float64(wall.Milliseconds())),
+				fmt.Sprintf("%.2f", inst.Quantile(0.50)/1000),
+				fmt.Sprintf("%.2f", inst.Quantile(0.99)/1000),
+				fmt.Sprintf("%.0f", float64(ann.Value)/wall.Seconds()),
+				fmt.Sprintf("%.0f", float64(admitted)/wall.Seconds()),
+			})
+		}
+	}
+	return t
+}

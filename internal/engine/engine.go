@@ -105,6 +105,13 @@ type Options struct {
 	// CheckpointEvery enables periodic watermark checkpoints per node
 	// in WAL mode.
 	CheckpointEvery time.Duration
+	// Plan reuses a pre-built arun.Plan (compiled workflow, directory,
+	// guard specs) instead of building one from the spec — the
+	// multi-plan hosting path: a registry (internal/serve) compiles
+	// each named spec once and every engine run against it skips
+	// compilation entirely.  When set, Compiled and NoPrograms are
+	// ignored (the plan already embodies them).
+	Plan *arun.Plan
 }
 
 // Result aggregates an engine run.
@@ -147,17 +154,30 @@ func (r *Result) FiresPerSec() float64 {
 }
 
 // Run executes opt.Instances instances of the spec and aggregates the
-// outcomes.
+// outcomes.  With opt.Plan set the spec argument is ignored and the
+// pre-built plan is executed directly.
 func Run(sp *spec.Spec, opt Options) (*Result, error) {
+	plan := opt.Plan
+	if plan == nil {
+		var err error
+		plan, err = arun.NewPlan(sp, arun.PlanOptions{Compiled: opt.Compiled, NoPrograms: opt.NoPrograms})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return RunPlan(plan, opt)
+}
+
+// RunPlan executes opt.Instances instances of a pre-built plan and
+// aggregates the outcomes — the entry point for hosts that keep many
+// compiled plans live at once (internal/serve's registry) and pay
+// compilation once per spec, not once per run.
+func RunPlan(plan *arun.Plan, opt Options) (*Result, error) {
 	if opt.Instances <= 0 {
 		opt.Instances = 1
 	}
 	if opt.IdleTimeout <= 0 {
 		opt.IdleTimeout = 15 * time.Second
-	}
-	plan, err := arun.NewPlan(sp, arun.PlanOptions{Compiled: opt.Compiled, NoPrograms: opt.NoPrograms})
-	if err != nil {
-		return nil, err
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -171,6 +191,7 @@ func Run(sp *spec.Spec, opt Options) (*Result, error) {
 
 	var eng *netEngine
 	if opt.Mode == ModeNet {
+		var err error
 		eng, err = newNetEngine(plan, opt)
 		if err != nil {
 			return nil, err
@@ -222,6 +243,7 @@ func Run(sp *spec.Spec, opt Options) (*Result, error) {
 		res.Decisions += int64(out.Decisions)
 		res.Fingerprints[out.Fingerprint()]++
 	}
+	planCounter(plan.Spec().Name).Add(int64(opt.Instances))
 	if eng != nil {
 		res.Batches, res.BatchedFrames = eng.mesh.BatchStats()
 		res.WALSyncs = eng.mesh.WALSyncs()
@@ -270,6 +292,16 @@ func runOne(plan *arun.Plan, eng *netEngine, sc *arun.Scratch, sat *arun.SatCach
 		mInstanceUS.Observe(time.Since(started).Microseconds())
 	}
 	return out, err
+}
+
+// SimTransport builds the per-instance simulator transport the
+// engine's sim mode runs on: default latency model, direct driver
+// injection.  Hosting layers (internal/serve) reuse it so a hosted
+// instance at seed s reproduces the engine's fingerprint at seed s —
+// the sim oracle and the served verdict are the same deterministic
+// function of the seed.
+func SimTransport(seed int64) arun.Transport {
+	return newSimXport(arun.NewSimTransport(seed, nil))
 }
 
 // simXport wraps the simulator transport with direct driver

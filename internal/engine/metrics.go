@@ -11,3 +11,14 @@ var (
 		100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
 		100_000, 250_000, 500_000, 1_000_000)
 )
+
+// planCounter is the per-plan instance counter: multi-plan hosts see
+// one "engine.plan.<name>.instances" series per named spec, so a
+// registry serving many workflows can attribute throughput per plan.
+// Anonymous specs fold into "engine.plan._.instances".
+func planCounter(name string) *obs.Counter {
+	if name == "" {
+		name = "_"
+	}
+	return obs.C("engine.plan." + name + ".instances")
+}

@@ -2,65 +2,14 @@ package netwire
 
 import (
 	"net"
-	"net/http"
-	"sync"
-	"time"
+
+	"repro/internal/obs"
 )
 
 // serveDebugHTTP hands one sniffed inbound connection to the
-// configured debug handler.  Keep-alives are off so the connection's
-// goroutine ends with its one exchange — debug traffic never
-// accumulates state on the node.
+// configured debug handler through the shared byte-sniff mux helpers
+// (internal/obs): a one-shot HTTP exchange, keep-alives off, so debug
+// traffic never accumulates state on the node.
 func (n *Node) serveDebugHTTP(conn net.Conn) {
-	srv := &http.Server{
-		Handler:           n.cfg.Debug,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-	srv.SetKeepAlivesEnabled(false)
-	// Serve returns once the one-shot listener is exhausted; the
-	// connection itself is closed by the server when the exchange ends.
-	srv.Serve(&oneShotListener{conn: conn})
+	obs.ServeHTTPConn(conn, n.cfg.Debug)
 }
-
-// prefixConn replays already-sniffed bytes before reading from the
-// underlying connection.
-type prefixConn struct {
-	net.Conn
-	pre []byte
-}
-
-func (c *prefixConn) Read(p []byte) (int, error) {
-	if len(c.pre) > 0 {
-		n := copy(p, c.pre)
-		c.pre = c.pre[n:]
-		return n, nil
-	}
-	return c.Conn.Read(p)
-}
-
-// oneShotListener yields a single accepted connection, then reports
-// closed — the adapter that lets http.Server serve one conn.
-type oneShotListener struct {
-	mu   sync.Mutex
-	conn net.Conn
-}
-
-func (l *oneShotListener) Accept() (net.Conn, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.conn == nil {
-		return nil, net.ErrClosed
-	}
-	c := l.conn
-	l.conn = nil
-	return c, nil
-}
-
-func (l *oneShotListener) Close() error { return nil }
-
-func (l *oneShotListener) Addr() net.Addr { return dummyAddr{} }
-
-type dummyAddr struct{}
-
-func (dummyAddr) Network() string { return "netwire-debug" }
-func (dummyAddr) String() string  { return "netwire-debug" }

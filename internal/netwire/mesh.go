@@ -77,11 +77,11 @@ func NewMeshOpts(driver simnet.SiteID, sites []simnet.SiteID, opts MeshOptions) 
 			}
 		}
 		n := NewNode(Config{
-			ID:         string(site),
-			ListenAddr: "127.0.0.1:0",
-			NodeIndex:  i,
-			Fault:      opts.Fault,
-			WAL:        w,
+			ID:              string(site),
+			ListenAddr:      "127.0.0.1:0",
+			NodeIndex:       i,
+			Fault:           opts.Fault,
+			WAL:             w,
 			CheckpointEvery: opts.CheckpointEvery,
 			// Loopback links fail fast and cheap; snappy retry bounds
 			// keep fault recovery (and the chaos suite) quick.

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/actor"
+	"repro/internal/obs"
 	"repro/internal/quiesce"
 	"repro/internal/simnet"
 	"repro/internal/wal"
@@ -665,16 +666,16 @@ func (n *Node) acceptLoop() {
 // the same connection.
 func (n *Node) serveConn(conn net.Conn) {
 	if n.cfg.Debug != nil {
-		var first [1]byte
-		if _, err := io.ReadFull(conn, first[:]); err != nil {
+		wrapped, frame, err := obs.SniffConn(conn)
+		if err != nil {
 			conn.Close()
 			return
 		}
-		if first[0] != 0 {
-			n.serveDebugHTTP(&prefixConn{Conn: conn, pre: []byte{first[0]}})
+		if !frame {
+			n.serveDebugHTTP(wrapped)
 			return
 		}
-		conn = &prefixConn{Conn: conn, pre: []byte{first[0]}}
+		conn = wrapped
 	}
 	defer conn.Close()
 	cw := newConnWriter(conn, n.cfg.writeTimeout())

@@ -361,6 +361,24 @@ func (n *Node) Snapshot() error {
 	return nil
 }
 
+// Checkpoint appends one on-demand watermark checkpoint record and
+// forces it to disk.  Graceful shutdown paths call it after settling
+// so a restart recovers from the watermarks instead of replaying the
+// whole tail; unlike Snapshot it needs no provider and no global
+// quiescence (the meta is a monotone watermark, not a state capture).
+func (n *Node) Checkpoint() error {
+	if n.wal == nil {
+		return nil
+	}
+	blob, err := json.Marshal(n.meta())
+	if err != nil {
+		return err
+	}
+	lsn := n.wal.Append(wal.Record{Kind: wal.KCkpt, Payload: blob})
+	n.wal.WaitDurable(lsn)
+	return nil
+}
+
 // checkpointLoop periodically appends a watermark checkpoint record.
 func (n *Node) checkpointLoop() {
 	t := time.NewTicker(n.cfg.CheckpointEvery)

@@ -1,0 +1,132 @@
+package netwire
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over shard members — the placement
+// layer the serving daemon (internal/serve) uses to pin workflow
+// instances to shards.  Each member owns many virtual nodes (points on
+// a 64-bit hash circle), so keys spread evenly and membership changes
+// move only the keys adjacent to the added or removed member's points
+// — the property that lets a long-lived service grow or shrink its
+// shard set without re-placing the world.
+//
+// The ring is orthogonal to a Mesh's site topology: sites place actors
+// by the workflow's data-flow (spec placement), while the ring places
+// whole instances by load.  It lives in this package because shard
+// membership is transport-level state — the instance-tagged frame demux
+// (actor.Instanced, engine) is what makes a shard assignment real on
+// the wire.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []ringPoint // sorted by hash
+	members  map[string]bool
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// DefaultReplicas is the virtual-node count per member: high enough
+// that a handful of shards split the circle within a few percent.
+const DefaultReplicas = 128
+
+// NewRing builds a ring with the given virtual-node count per member
+// (DefaultReplicas when replicas <= 0).
+func NewRing(replicas int, members ...string) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{replicas: replicas, members: map[string]bool{}}
+	for _, m := range members {
+		r.Add(m)
+	}
+	return r
+}
+
+// Add inserts a member (idempotent).
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", member, i)), member: member})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break on the member name so the
+		// ring is deterministic across processes.
+		return r.points[i].member < r.points[j].member
+	})
+}
+
+// Remove deletes a member and its virtual nodes (idempotent).
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Place returns the member owning key: the first virtual node at or
+// after the key's hash, wrapping around the circle.  Empty rings place
+// everything on "".
+func (r *Ring) Place(key string) string {
+	h := ringHash(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the sorted member set.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ringHash is FNV-1a over the key, finalized with the splitmix64
+// mixer — cheap, dependency-free, and stable across processes and
+// runs (unlike Go's map hash).  Bare FNV clusters badly on the highly
+// similar "member#i" virtual-node strings; the finalizer spreads those
+// over the full circle.
+func ringHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	z := h.Sum64() + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,96 @@
+package netwire
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingBalance: with enough virtual nodes, shards split a large key
+// population within a loose tolerance of even.
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 8, 100_000
+	r := NewRing(0)
+	for i := 0; i < shards; i++ {
+		r.Add(fmt.Sprintf("shard-%d", i))
+	}
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Place(fmt.Sprintf("inst-%d", i))]++
+	}
+	if len(counts) != shards {
+		t.Fatalf("placed on %d members, want %d: %v", len(counts), shards, counts)
+	}
+	want := keys / shards
+	for m, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("member %s holds %d keys, want within [%d,%d]", m, c, want/2, want*2)
+		}
+	}
+}
+
+// TestRingStability: removing one member must move only that member's
+// keys; every key previously placed elsewhere keeps its placement.
+func TestRingStability(t *testing.T) {
+	const shards, keys = 8, 20_000
+	r := NewRing(0)
+	for i := 0; i < shards; i++ {
+		r.Add(fmt.Sprintf("shard-%d", i))
+	}
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Place(fmt.Sprintf("inst-%d", i))
+	}
+	const victim = "shard-3"
+	r.Remove(victim)
+	moved := 0
+	for i := range before {
+		after := r.Place(fmt.Sprintf("inst-%d", i))
+		if before[i] == victim {
+			if after == victim {
+				t.Fatalf("key %d still on removed member", i)
+			}
+			moved++
+			continue
+		}
+		if after != before[i] {
+			t.Errorf("key %d moved %s -> %s though %s was removed", i, before[i], after, victim)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned no keys — test vacuous")
+	}
+}
+
+// TestRingDeterminism: two independently built rings with the same
+// members agree on every placement (FNV, not runtime map hashing).
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing(64, "s0", "s1", "s2")
+	b := NewRing(64, "s2", "s0", "s1") // insertion order must not matter
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if a.Place(k) != b.Place(k) {
+			t.Fatalf("rings disagree on %s: %s vs %s", k, a.Place(k), b.Place(k))
+		}
+	}
+}
+
+// TestRingEdges: empty and single-member rings.
+func TestRingEdges(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Place("x"); got != "" {
+		t.Errorf("empty ring placed on %q", got)
+	}
+	r.Add("only")
+	r.Add("only") // idempotent
+	if got := r.Place("x"); got != "only" {
+		t.Errorf("single-member ring placed on %q", got)
+	}
+	if got := len(r.Members()); got != 1 {
+		t.Errorf("double Add left %d members", got)
+	}
+	r.Remove("absent") // idempotent no-op
+	r.Remove("only")
+	if got := r.Place("x"); got != "" {
+		t.Errorf("emptied ring placed on %q", got)
+	}
+}

@@ -215,6 +215,47 @@ func (s Snapshot) Get(name string) (Metric, bool) {
 	return m, ok
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of a histogram metric
+// by linear interpolation inside the bucket holding the target rank:
+// the usual bounded-histogram estimator, exact at bucket boundaries
+// and within one bucket's width elsewhere.  Observations in the
+// overflow bucket report the last finite bound (the estimator cannot
+// see past it).  Returns 0 for empty or non-histogram metrics.
+func (m Metric) Quantile(q float64) float64 {
+	if m.Kind != "histogram" || m.Count <= 0 || len(m.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(m.Count)
+	var cum int64
+	for i, b := range m.Buckets {
+		prev := cum
+		cum += b
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(m.Bounds) {
+			return float64(m.Bounds[len(m.Bounds)-1])
+		}
+		lo := float64(0)
+		if i > 0 {
+			lo = float64(m.Bounds[i-1])
+		}
+		hi := float64(m.Bounds[i])
+		if b == 0 {
+			return hi
+		}
+		frac := (rank - float64(prev)) / float64(b)
+		return lo + frac*(hi-lo)
+	}
+	return float64(m.Bounds[len(m.Bounds)-1])
+}
+
 // Diff returns this snapshot minus an earlier one: counters and
 // histogram counts subtract (the work done in between), gauges keep
 // their current level (a level has no meaningful delta).  Metrics

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Byte-sniffed protocol mux: the one-port trick every serving surface
+// in this repository shares.  A length-prefixed wire frame's first byte
+// is always zero (frame bodies are bounded well below 1<<24, so the
+// big-endian length prefix leads with a zero byte), while an HTTP
+// request line starts with a nonzero ASCII method byte.  Reading a
+// single byte therefore tells the two protocols apart with no
+// handshake, and replaying that byte through a prefixed connection
+// keeps both protocol stacks unaware anything was sniffed.
+//
+// internal/netwire uses this to serve /debug/metrics and pprof on its
+// data ports; cmd/wfserve uses it the other way around, multiplexing a
+// binary announce fast path onto its HTTP control port.
+
+// SniffConn reads the first byte of conn and reports whether the
+// connection speaks the framed wire protocol (first byte zero) or
+// something text-like (HTTP).  The returned connection replays the
+// sniffed byte, so the caller hands it to either stack unchanged.  An
+// error means the connection died before a single byte arrived; the
+// caller should close it.
+func SniffConn(conn net.Conn) (wrapped net.Conn, frame bool, err error) {
+	var first [1]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return conn, false, err
+	}
+	return &prefixConn{Conn: conn, pre: []byte{first[0]}}, first[0] == 0, nil
+}
+
+// ServeHTTPConn serves HTTP on one already-accepted (and typically
+// already-sniffed) connection.  Keep-alives are off so the goroutine
+// ends with its one exchange — debug and control traffic never
+// accumulates connection state on the data path.
+func ServeHTTPConn(conn net.Conn, h http.Handler) {
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	srv.SetKeepAlivesEnabled(false)
+	// Serve returns once the one-shot listener is exhausted; the
+	// connection itself is closed by the server when the exchange ends.
+	srv.Serve(&oneShotListener{conn: conn})
+}
+
+// SniffServer accepts connections from one listener and dispatches
+// each by its first byte: zero-leading (framed) connections to Frame,
+// everything else to the HTTP handler.  This is the standalone form of
+// the mux for servers whose primary protocol is HTTP (cmd/wfserve);
+// internal/netwire embeds the same SniffConn/ServeHTTPConn pair inside
+// its own accept loop because frames are its primary protocol.
+type SniffServer struct {
+	// HTTP handles non-frame connections; required.
+	HTTP http.Handler
+	// Frame handles connections whose first byte is zero, receiving the
+	// connection with the sniffed byte replayed.  The handler owns the
+	// connection and must close it.  Nil closes frame connections
+	// immediately (the port speaks only HTTP).
+	Frame func(net.Conn)
+	// KeepAlive, when true, serves HTTP connections through one shared
+	// http.Server with keep-alives instead of a one-shot server per
+	// connection — the right trade for a control API handling sustained
+	// request streams.
+	KeepAlive bool
+
+	mu     sync.Mutex
+	lis    net.Listener
+	httpCh chan net.Conn
+	done   chan struct{}
+	srv    *http.Server
+	closed bool
+}
+
+// Serve accepts until the listener closes.  It owns lis and closes it
+// on Close.
+func (s *SniffServer) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.done = make(chan struct{})
+	if s.KeepAlive {
+		s.httpCh = make(chan net.Conn)
+		s.srv = &http.Server{Handler: s.HTTP, ReadHeaderTimeout: 5 * time.Second}
+		go s.srv.Serve(&chanListener{ch: s.httpCh, done: s.done, addr: lis.Addr()})
+	}
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *SniffServer) serveConn(conn net.Conn) {
+	wrapped, frame, err := SniffConn(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if frame {
+		if s.Frame == nil {
+			conn.Close()
+			return
+		}
+		s.Frame(wrapped)
+		return
+	}
+	if s.KeepAlive {
+		s.mu.Lock()
+		ch, done := s.httpCh, s.done
+		s.mu.Unlock()
+		// The shared server's Accept is pending until Close fires done,
+		// so exactly one arm ever proceeds.
+		select {
+		case ch <- wrapped:
+		case <-done:
+			conn.Close()
+		}
+		return
+	}
+	ServeHTTPConn(wrapped, s.HTTP)
+}
+
+// Close stops accepting; in-flight exchanges finish on their own.
+func (s *SniffServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	lis, srv, done := s.lis, s.srv, s.done
+	s.mu.Unlock()
+	if done != nil {
+		close(done)
+	}
+	if lis != nil {
+		lis.Close()
+	}
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// prefixConn replays already-sniffed bytes before reading from the
+// underlying connection.
+type prefixConn struct {
+	net.Conn
+	pre []byte
+}
+
+func (c *prefixConn) Read(p []byte) (int, error) {
+	if len(c.pre) > 0 {
+		n := copy(p, c.pre)
+		c.pre = c.pre[n:]
+		return n, nil
+	}
+	return c.Conn.Read(p)
+}
+
+// oneShotListener yields a single accepted connection, then reports
+// closed — the adapter that lets http.Server serve one conn.
+type oneShotListener struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (l *oneShotListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn == nil {
+		return nil, net.ErrClosed
+	}
+	c := l.conn
+	l.conn = nil
+	return c, nil
+}
+
+func (l *oneShotListener) Close() error { return nil }
+
+func (l *oneShotListener) Addr() net.Addr { return sniffAddr{} }
+
+// chanListener adapts a channel of pre-accepted connections into the
+// net.Listener a shared keep-alive http.Server wants.  It never closes
+// the channel — senders race Close — and instead unblocks Accept
+// through the shared done signal.
+type chanListener struct {
+	ch   chan net.Conn
+	done chan struct{}
+	addr net.Addr
+}
+
+func (l *chanListener) Accept() (net.Conn, error) {
+	select {
+	case conn := <-l.ch:
+		return conn, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *chanListener) Close() error { return nil }
+
+func (l *chanListener) Addr() net.Addr { return l.addr }
+
+type sniffAddr struct{}
+
+func (sniffAddr) Network() string { return "obs-sniff" }
+func (sniffAddr) String() string  { return "obs-sniff" }

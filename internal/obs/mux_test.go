@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startSniff spins a SniffServer on loopback whose frame handler
+// echoes each length-prefixed frame back and whose HTTP handler
+// reports the request path.
+func startSniff(t *testing.T, keepAlive bool) (*SniffServer, string, *atomic.Int64) {
+	t.Helper()
+	var frames atomic.Int64
+	s := &SniffServer{
+		HTTP: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, "path=%s", r.URL.Path)
+		}),
+		Frame: func(conn net.Conn) {
+			defer conn.Close()
+			for {
+				var hdr [4]byte
+				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+					return
+				}
+				body := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+				if _, err := io.ReadFull(conn, body); err != nil {
+					return
+				}
+				frames.Add(1)
+				conn.Write(hdr[:])
+				conn.Write(body)
+			}
+		},
+		KeepAlive: keepAlive,
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(lis)
+	t.Cleanup(s.Close)
+	return s, lis.Addr().String(), &frames
+}
+
+// sendFrame writes one length-prefixed frame and reads the echo.
+func sendFrame(t *testing.T, addr string, payload []byte) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(append(hdr[:], payload...)); err != nil {
+		t.Fatalf("write frame: %v", err)
+	}
+	echo := make([]byte, 4+len(payload))
+	if _, err := io.ReadFull(conn, echo); err != nil {
+		t.Fatalf("read echo: %v", err)
+	}
+	if string(echo[4:]) != string(payload) {
+		t.Fatalf("echo mismatch: %q", echo[4:])
+	}
+}
+
+func httpGet(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestSniffInterleaved drives wire frames and HTTP requests
+// concurrently over one port: every frame must reach the frame
+// handler, every request the HTTP handler, with no cross-talk.  Run
+// under -race this is also the mux's concurrency test (make race).
+func TestSniffInterleaved(t *testing.T) {
+	for _, keepAlive := range []bool{false, true} {
+		t.Run(fmt.Sprintf("keepalive=%v", keepAlive), func(t *testing.T) {
+			_, addr, frames := startSniff(t, keepAlive)
+			const n = 32
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(2)
+				go func(i int) {
+					defer wg.Done()
+					sendFrame(t, addr, []byte(fmt.Sprintf("frame-%d", i)))
+				}(i)
+				go func(i int) {
+					defer wg.Done()
+					path := fmt.Sprintf("/req/%d", i)
+					if got := httpGet(t, addr, path); got != "path="+path {
+						t.Errorf("HTTP response %q, want path=%s", got, path)
+					}
+				}(i)
+			}
+			wg.Wait()
+			if got := frames.Load(); got != n {
+				t.Errorf("frame handler saw %d frames, want %d", got, n)
+			}
+		})
+	}
+}
+
+// TestSniffMalformedFirstByte covers the sniff decision table: a
+// leading zero byte routes to the frame handler even when the rest is
+// garbage, any nonzero first byte routes to HTTP (which answers 400
+// to non-HTTP bytes), and a connection that dies before its first
+// byte is simply closed.
+func TestSniffMalformedFirstByte(t *testing.T) {
+	_, addr, frames := startSniff(t, false)
+
+	// Nonzero garbage: lands on the HTTP stack, which must answer
+	// (with an error) rather than hang or crash the mux.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Write([]byte{0xFF, 0xFE, 0xFD}); err != nil {
+		t.Fatal(err)
+	}
+	reply, _ := io.ReadAll(conn)
+	conn.Close()
+	if len(reply) == 0 {
+		t.Error("garbage connection got no HTTP error reply")
+	}
+
+	// Immediate EOF: no byte ever arrives; the mux must just drop it.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn2.Close()
+
+	// Zero first byte with a torn frame: reaches the frame handler,
+	// which hits EOF mid-frame and returns.
+	conn3, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn3.Write([]byte{0x00, 0x00})
+	conn3.Close()
+
+	// The port still works for both protocols afterwards.
+	sendFrame(t, addr, []byte("after"))
+	if got := httpGet(t, addr, "/ok"); got != "path=/ok" {
+		t.Errorf("HTTP after malformed conns: %q", got)
+	}
+	if frames.Load() < 1 {
+		t.Error("frame handler never ran")
+	}
+}
+
+// TestSniffNoFrameHandler: an HTTP-only SniffServer closes framed
+// connections instead of leaking them.
+func TestSniffNoFrameHandler(t *testing.T) {
+	s := &SniffServer{HTTP: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(lis)
+	defer s.Close()
+
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	conn.Write([]byte{0x00, 0x01, 0x02})
+	buf := make([]byte, 1)
+	// The server closes the conn without reading the payload, so the
+	// client sees EOF or a reset — anything but data or a hang.
+	if n, err := conn.Read(buf); err == nil {
+		t.Errorf("framed conn on HTTP-only server: got %d bytes, want close", n)
+	}
+	conn.Close()
+}
+
+// TestServeHTTPConn exercises the one-shot path netwire's debug
+// handler uses directly: one exchange per connection, keep-alive off.
+func TestServeHTTPConn(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go ServeHTTPConn(conn, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+				io.WriteString(w, "one-shot")
+			}))
+		}
+	}()
+
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	fmt.Fprintf(conn, "GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "one-shot" {
+		t.Errorf("body %q", body)
+	}
+	if !resp.Close {
+		t.Error("one-shot response should set Connection: close")
+	}
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 10, 20, 50, 100)
+	// 100 observations uniform over (0,100]: ~10 per unit decade.
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	m, _ := r.Snapshot().Get("lat")
+	// Exact at bucket boundaries: rank 10 is the top of bucket 0.
+	if got := m.Quantile(0.10); math.Abs(got-10) > 0.01 {
+		t.Errorf("p10 = %v, want 10", got)
+	}
+	if got := m.Quantile(0.50); math.Abs(got-50) > 0.01 {
+		t.Errorf("p50 = %v, want 50", got)
+	}
+	// Interpolated inside the (20,50] bucket: rank 35 is halfway.
+	if got := m.Quantile(0.35); math.Abs(got-35) > 0.01 {
+		t.Errorf("p35 = %v, want 35", got)
+	}
+	if got := m.Quantile(1); math.Abs(got-100) > 0.01 {
+		t.Errorf("p100 = %v, want 100", got)
+	}
+
+	// Overflow observations clamp to the last finite bound.
+	h.Observe(10_000)
+	m, _ = r.Snapshot().Get("lat")
+	if got := m.Quantile(1); got != 100 {
+		t.Errorf("overflow p100 = %v, want clamp to 100", got)
+	}
+
+	// Degenerate inputs.
+	if got := (Metric{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty metric quantile = %v", got)
+	}
+	c := r.Counter("n")
+	c.Inc()
+	cm, _ := r.Snapshot().Get("n")
+	if got := cm.Quantile(0.5); got != 0 {
+		t.Errorf("counter quantile = %v", got)
+	}
+}

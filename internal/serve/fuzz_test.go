@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/spec"
+)
+
+// FuzzSpecUpload throws arbitrary bytes at the spec-upload validation
+// and parse pipeline: it must never panic, and every rejection must be
+// a structured error (parse failures carry a line number within the
+// input).
+func FuzzSpecUpload(f *testing.F) {
+	f.Add("wf", "dep a + b\n")
+	f.Add("travel", travelSrc)
+	f.Add("", "")
+	f.Add("x", "workflow w\ndep ~+\n")
+	f.Add("y", "dep a + b\nevent a site=ctl\n")
+	f.Add("z", "dep a + b\nagent g site=s0\nstep a think=zap\n")
+	reg := NewRegistry(4)
+	f.Fuzz(func(t *testing.T, name, body string) {
+		if err := validateSpecUpload(name, []byte(body)); err != nil {
+			return
+		}
+		_, rerr := reg.Register("fuzz", name, body)
+		if rerr == nil {
+			return
+		}
+		if rerr.Status < 400 || rerr.Status > 499 {
+			t.Fatalf("non-4xx registration failure %d for %q", rerr.Status, body)
+		}
+		if rerr.Msg == "" {
+			t.Fatal("structured error with empty message")
+		}
+		if _, err := spec.ParseString(body); err != nil {
+			var pe *spec.ParseError
+			if asParseError(err, &pe) {
+				lines := 1
+				for _, r := range body {
+					if r == '\n' {
+						lines++
+					}
+				}
+				if pe.Line < 0 || pe.Line > lines {
+					t.Fatalf("parse error line %d outside input (%d lines)", pe.Line, lines)
+				}
+			}
+		}
+	})
+}
+
+func asParseError(err error, pe **spec.ParseError) bool {
+	for err != nil {
+		if p, ok := err.(*spec.ParseError); ok {
+			*pe = p
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// FuzzLaunchBody fuzzes the launch-request parser: no panics, and
+// every accepted request satisfies the documented invariants.
+func FuzzLaunchBody(f *testing.F) {
+	f.Add([]byte(`{"spec":"travel","count":3}`))
+	f.Add([]byte(`{"spec":"x","mode":"external","seed":-1}`))
+	f.Add([]byte(`{"mode":"wild"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"spec":"x","count":-5}`))
+	f.Add([]byte(`{"spec":"x","count":2000000}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := parseLaunchRequest(body)
+		if err != nil {
+			return
+		}
+		if req.Spec == "" {
+			t.Fatal("accepted launch without a spec")
+		}
+		if req.Count < 1 || req.Count > 1_000_000 {
+			t.Fatalf("accepted count %d", req.Count)
+		}
+		if req.Mode != "" && req.Mode != ModeScripted && req.Mode != ModeExternal {
+			t.Fatalf("accepted mode %q", req.Mode)
+		}
+	})
+}
+
+// FuzzAnnounceBody fuzzes both announce parsers (HTTP body and binary
+// frame payload) together, since they share the event-name invariants.
+func FuzzAnnounceBody(f *testing.F) {
+	f.Add([]byte(`{"event":"a"}`))
+	f.Add([]byte(`{"event":"~b","forced":true}`))
+	f.Add([]byte(`{"id":7,"event":"c"}`))
+	f.Add([]byte(`{"event":""}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if req, err := parseAnnounceRequest(body); err == nil {
+			if req.Event == "" || len(req.Event) > 256 {
+				t.Fatalf("accepted event %q", req.Event)
+			}
+			if !utf8.ValidString(req.Event) {
+				// encoding/json replaces invalid sequences, so an accepted
+				// event is always valid UTF-8; a violation means the parser
+				// bypassed decoding.
+				t.Fatalf("accepted non-UTF-8 event %q", req.Event)
+			}
+		}
+		if req, err := parseFrameRequest(body); err == nil {
+			if req.ID == 0 || req.Event == "" {
+				t.Fatalf("frame parser accepted %+v", req)
+			}
+		}
+	})
+}

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Request payload limits: a spec upload or announce body past these
+// is a client error, not a server allocation.
+const (
+	maxSpecBytes = 1 << 20
+	maxBodyBytes = 1 << 16
+)
+
+// launchRequest is the POST /v1/instances body.
+type launchRequest struct {
+	Tenant string `json:"tenant"`
+	Spec   string `json:"spec"`
+	Mode   string `json:"mode"`
+	Seed   int64  `json:"seed"`
+	Count  int    `json:"count"`
+}
+
+// announceRequest is the POST /v1/instances/{id}/announce body.
+type announceRequest struct {
+	Event  string `json:"event"`
+	Forced bool   `json:"forced"`
+}
+
+// frameRequest is the length-prefixed binary announce fast path's
+// JSON payload — the same announce, minus HTTP framing.
+type frameRequest struct {
+	ID     uint64 `json:"id"`
+	Event  string `json:"event"`
+	Forced bool   `json:"forced"`
+}
+
+// parseLaunchRequest decodes and validates a launch body.  Pure:
+// fuzzable without a server.
+func parseLaunchRequest(body []byte) (launchRequest, error) {
+	var req launchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return req, fmt.Errorf("bad launch body: %w", err)
+	}
+	if req.Spec == "" {
+		return req, fmt.Errorf("spec name required")
+	}
+	if req.Mode != "" && req.Mode != ModeScripted && req.Mode != ModeExternal {
+		return req, fmt.Errorf("unknown mode %q", req.Mode)
+	}
+	if req.Count < 0 || req.Count > 1_000_000 {
+		return req, fmt.Errorf("count %d out of range", req.Count)
+	}
+	if req.Count == 0 {
+		req.Count = 1
+	}
+	return req, nil
+}
+
+// parseAnnounceRequest decodes and validates an announce body.  Pure.
+func parseAnnounceRequest(body []byte) (announceRequest, error) {
+	var req announceRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return req, fmt.Errorf("bad announce body: %w", err)
+	}
+	if req.Event == "" {
+		return req, fmt.Errorf("event required")
+	}
+	if len(req.Event) > 256 {
+		return req, fmt.Errorf("event name too long")
+	}
+	return req, nil
+}
+
+// parseFrameRequest decodes one binary-path announce payload.  Pure.
+func parseFrameRequest(body []byte) (frameRequest, error) {
+	var req frameRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return req, fmt.Errorf("bad frame body: %w", err)
+	}
+	if req.ID == 0 {
+		return req, fmt.Errorf("instance id required")
+	}
+	if req.Event == "" {
+		return req, fmt.Errorf("event required")
+	}
+	return req, nil
+}
+
+// validateSpecUpload checks the query-side parameters of a spec
+// upload.  Pure.
+func validateSpecUpload(name string, body []byte) error {
+	if name == "" {
+		return fmt.Errorf("name query parameter required")
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("name too long")
+	}
+	if len(body) == 0 {
+		return fmt.Errorf("empty spec body")
+	}
+	if len(body) > maxSpecBytes {
+		return fmt.Errorf("spec too large")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *Error) {
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter))
+	}
+	writeJSON(w, e.Status, e)
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	writeError(w, errf(400, "%v", err))
+}
+
+// tenantOf defaults the tenant query parameter.
+func tenantOf(r *http.Request) string {
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// NewHandler builds the service's HTTP API.  Control and data share
+// this handler; cmd/wfserve mounts it behind the byte-sniffed mux so
+// the binary frame path rides the same port.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/specs", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+		if err != nil {
+			badRequest(w, err)
+			return
+		}
+		name := r.URL.Query().Get("name")
+		if err := validateSpecUpload(name, body); err != nil {
+			badRequest(w, err)
+			return
+		}
+		tenant := tenantOf(r)
+		e, rerr := s.RegisterSpec(tenant, name, string(body))
+		if rerr != nil {
+			writeError(w, rerr)
+			return
+		}
+		writeJSON(w, 201, map[string]any{
+			"tenant": e.Tenant, "name": e.Name,
+			"events": len(e.Spec.Events), "agents": len(e.Spec.Agents),
+		})
+	})
+
+	mux.HandleFunc("GET /v1/specs", func(w http.ResponseWriter, r *http.Request) {
+		var out []map[string]any
+		for _, e := range s.reg.List(r.URL.Query().Get("tenant")) {
+			out = append(out, map[string]any{
+				"tenant": e.Tenant, "name": e.Name, "compiled": e.Compiled(),
+				"launched":  e.Stats.Launched.Load(),
+				"completed": e.Stats.Completed.Load(),
+				"shed":      e.Stats.Shed.Load(),
+				"satisfied": e.Stats.Satisfied.Load(),
+			})
+		}
+		writeJSON(w, 200, map[string]any{"specs": out})
+	})
+
+	mux.HandleFunc("POST /v1/instances", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err != nil {
+			badRequest(w, err)
+			return
+		}
+		req, err := parseLaunchRequest(body)
+		if err != nil {
+			badRequest(w, err)
+			return
+		}
+		if req.Tenant == "" {
+			req.Tenant = tenantOf(r)
+		}
+		ids := make([]uint64, 0, req.Count)
+		for i := 0; i < req.Count; i++ {
+			inst, rerr := s.Launch(req.Tenant, req.Spec, req.Mode, req.Seed+int64(i))
+			if rerr != nil {
+				// Partial admission: report what got in alongside the shed.
+				if len(ids) > 0 && rerr.Status == 429 {
+					writeJSON(w, 202, map[string]any{"ids": ids, "shed": req.Count - len(ids)})
+					return
+				}
+				writeError(w, rerr)
+				return
+			}
+			ids = append(ids, inst.ID)
+		}
+		writeJSON(w, 202, map[string]any{"ids": ids})
+	})
+
+	mux.HandleFunc("GET /v1/instances/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			badRequest(w, err)
+			return
+		}
+		inst, rerr := s.Get(id)
+		if rerr != nil {
+			writeError(w, rerr)
+			return
+		}
+		inst.mu.Lock()
+		done, v := inst.done, inst.verdict
+		inst.mu.Unlock()
+		resp := map[string]any{
+			"id": inst.ID, "tenant": inst.Tenant, "spec": inst.Spec,
+			"mode": inst.Mode, "done": done,
+		}
+		if v != nil {
+			resp["verdict"] = v
+		}
+		writeJSON(w, 200, resp)
+	})
+
+	mux.HandleFunc("POST /v1/instances/{id}/announce", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			badRequest(w, err)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err != nil {
+			badRequest(w, err)
+			return
+		}
+		req, err := parseAnnounceRequest(body)
+		if err != nil {
+			badRequest(w, err)
+			return
+		}
+		res, rerr := s.Announce(id, req.Event, req.Forced)
+		if rerr != nil {
+			writeError(w, rerr)
+			return
+		}
+		writeJSON(w, 200, res)
+	})
+
+	mux.HandleFunc("POST /v1/instances/{id}/close", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			badRequest(w, err)
+			return
+		}
+		v, rerr := s.CloseInstance(id)
+		if rerr != nil {
+			writeError(w, rerr)
+			return
+		}
+		writeJSON(w, 200, v)
+	})
+
+	mux.HandleFunc("GET /v1/verdicts", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		after, _ := strconv.ParseUint(q.Get("after"), 10, 64)
+		max, _ := strconv.Atoi(q.Get("max"))
+		var wait time.Duration
+		if ms, err := strconv.Atoi(q.Get("waitms")); err == nil && ms > 0 {
+			if ms > 30_000 {
+				ms = 30_000
+			}
+			wait = time.Duration(ms) * time.Millisecond
+		}
+		vs := s.verdicts.Wait(after, max, wait)
+		next := after
+		for _, v := range vs {
+			if v.Seq > next {
+				next = v.Seq
+			}
+		}
+		writeJSON(w, 200, map[string]any{"verdicts": vs, "next": next})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		status := 200
+		if st.Draining {
+			status = 503
+		}
+		writeJSON(w, status, st)
+	})
+
+	mux.Handle("GET /debug/metrics", obs.MetricsHandler(obs.Default))
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+
+	return mux
+}
+
+// FrameHandler is the binary announce fast path mounted on the
+// byte-sniffed mux's frame side: a client streams
+// [u32 length][JSON frameRequest] frames on one connection and reads
+// [u32 length][JSON AnnounceResult-or-error] replies, skipping HTTP
+// framing per announce.  The first byte of a length prefix is always
+// zero (payloads < 1<<24), which is what distinguishes frame clients
+// from HTTP clients on the shared port.
+func FrameHandler(s *Server) func(net.Conn) {
+	return func(conn net.Conn) {
+		defer conn.Close()
+		for {
+			var hdr [4]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				return
+			}
+			n := binary.BigEndian.Uint32(hdr[:])
+			if n == 0 || n > maxBodyBytes {
+				return
+			}
+			body := make([]byte, n)
+			if _, err := io.ReadFull(conn, body); err != nil {
+				return
+			}
+			mFrameReqs.Inc()
+			var resp any
+			req, err := parseFrameRequest(body)
+			if err != nil {
+				resp = map[string]string{"error": err.Error()}
+			} else if res, rerr := s.Announce(req.ID, req.Event, req.Forced); rerr != nil {
+				resp = rerr
+			} else {
+				resp = res
+			}
+			out, err := json.Marshal(resp)
+			if err != nil {
+				return
+			}
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(out)))
+			if _, err := conn.Write(append(hdr[:], out...)); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+const travelSrc = `workflow travel
+dep init:  ~s_buy + s_book
+dep order: ~c_buy + c_book . c_buy
+event s_buy  site=buy
+event c_buy  site=buy
+event s_book site=book
+event c_book site=book
+`
+
+// TestRegisterStructuredErrors: every way a spec upload can fail maps
+// to a structured 4xx carrying the parse position and offending
+// event — not an opaque 500.
+func TestRegisterStructuredErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		status int
+		line   int
+		event  string
+		msg    string
+	}{
+		{
+			name:   "syntax error carries line",
+			src:    "workflow w\ndep ~+\n",
+			status: 400, line: 2,
+		},
+		{
+			name:   "unknown event option carries line and event",
+			src:    "dep a + b\nevent a site=s0 explosive\n",
+			status: 400, line: 2, event: "a", msg: "unknown event option",
+		},
+		{
+			name:   "orphan step",
+			src:    "dep a + b\nstep a\n",
+			status: 400, line: 2, msg: "outside an agent",
+		},
+		{
+			name:   "empty spec",
+			src:    "# nothing here\n",
+			status: 400, line: 0, msg: "no dependencies",
+		},
+		{
+			name:   "driver-site collision is a compile 422",
+			src:    "dep ~a + b\nevent a site=ctl\n",
+			status: 422, msg: "ctl",
+		},
+		{
+			name:   "bad think value",
+			src:    "dep a + b\nagent x site=s0\nstep a think=soon\n",
+			status: 400, line: 3, event: "a", msg: "bad think value",
+		},
+	}
+	reg := NewRegistry(0)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, rerr := reg.Register("t0", "bad", c.src)
+			if rerr == nil {
+				t.Fatal("registration succeeded, want structured error")
+			}
+			if rerr.Status != c.status {
+				t.Errorf("Status = %d, want %d (%v)", rerr.Status, c.status, rerr)
+			}
+			if rerr.Line != c.line {
+				t.Errorf("Line = %d, want %d (%v)", rerr.Line, c.line, rerr)
+			}
+			if rerr.Event != c.event {
+				t.Errorf("Event = %q, want %q", rerr.Event, c.event)
+			}
+			if c.msg != "" && !strings.Contains(rerr.Msg, c.msg) {
+				t.Errorf("Msg %q missing %q", rerr.Msg, c.msg)
+			}
+		})
+	}
+	// A name is required.
+	if _, rerr := reg.Register("t0", "", travelSrc); rerr == nil || rerr.Status != 400 {
+		t.Errorf("empty name: %v, want 400", rerr)
+	}
+}
+
+// TestRegistryTenantScoping: the same name under two tenants holds
+// two independent entries.
+func TestRegistryTenantScoping(t *testing.T) {
+	reg := NewRegistry(0)
+	if _, rerr := reg.Register("alice", "wf", travelSrc); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if _, rerr := reg.Register("bob", "wf", "dep x + y\n"); rerr != nil {
+		t.Fatal(rerr)
+	}
+	a, rerr := reg.Lookup("alice", "wf")
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	b, rerr := reg.Lookup("bob", "wf")
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if a == b || a.Spec.Name == b.Spec.Name {
+		t.Error("tenants share an entry")
+	}
+	if _, rerr := reg.Lookup("carol", "wf"); rerr == nil || rerr.Status != 404 {
+		t.Errorf("missing tenant lookup: %v, want 404", rerr)
+	}
+	if got := len(reg.List("alice")); got != 1 {
+		t.Errorf("List(alice) = %d entries", got)
+	}
+	if got := len(reg.List("")); got != 2 {
+		t.Errorf("List(all) = %d entries", got)
+	}
+}
+
+// TestRegistryEviction: overflowing the compiled-plan cache drops the
+// least-recently-used idle plan (source retained), and Acquire
+// recompiles it transparently; active plans are never evicted.
+func TestRegistryEviction(t *testing.T) {
+	reg := NewRegistry(2)
+	mk := func(name string) *PlanEntry {
+		e, rerr := reg.Register("t", name, "workflow "+name+"\ndep a + b\nevent a site=s1\nevent b site=s2\n")
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		return e
+	}
+	e1 := mk("w1")
+	// Pin w1 with an active instance, then overflow the cache.
+	_, _, release, rerr := e1.Acquire()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	e2 := mk("w2")
+	e3 := mk("w3")
+	if !e1.Compiled() {
+		t.Error("active plan w1 was evicted")
+	}
+	if e2.Compiled() && e3.Compiled() && e1.Compiled() {
+		t.Error("cache of 2 holds 3 compiled plans")
+	}
+	release()
+
+	// Acquire recompiles an evicted entry and the plan works.
+	for _, e := range []*PlanEntry{e1, e2, e3} {
+		plan, sat, rel, rerr := e.Acquire()
+		if rerr != nil {
+			t.Fatalf("Acquire(%s): %v", e.Name, rerr)
+		}
+		if plan == nil || sat == nil {
+			t.Fatalf("Acquire(%s) returned nil plan", e.Name)
+		}
+		rel()
+	}
+}

@@ -1,0 +1,778 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/arun"
+	"repro/internal/engine"
+	"repro/internal/netwire"
+	"repro/internal/wal"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Shards is the number of execution shards (default GOMAXPROCS).
+	// Each shard is one worker goroutine with a bounded mailbox;
+	// instances are pinned to shards by consistent hashing, so a
+	// restart with the same shard count recovers each instance from
+	// the same per-tenant shard log it was journaled to.
+	Shards int
+	// MailboxDepth bounds each shard's queued tasks (default 256).
+	MailboxDepth int
+	// HighWater is the queue depth at which admission sheds (default
+	// 3/4 of MailboxDepth).
+	HighWater int
+	// WALRoot enables durable journaling under per-tenant directories
+	// (wal.TenantDir).  Empty runs without durability.
+	WALRoot string
+	// WALNoSync skips fsync (group commit still orders writes).
+	WALNoSync bool
+	// FsyncLagMax sheds admissions when a shard log's unsynced tail
+	// (appended minus durable LSN) exceeds this many records (default
+	// 4096; 0 keeps the default, negative disables the check).
+	FsyncLagMax int64
+	// RegistryCap bounds cached compiled plans (DefaultRegistryCap).
+	RegistryCap int
+	// IdleTimeout bounds each instance's transport waits (default 15s).
+	IdleTimeout time.Duration
+	// Logf receives progress lines; nil discards.
+	Logf func(string, ...any)
+}
+
+// Verdict is one completed instance's outcome summary, sequenced for
+// cursor-based streaming.
+type Verdict struct {
+	Seq         uint64 `json:"seq"`
+	ID          uint64 `json:"id"`
+	Tenant      string `json:"tenant"`
+	Spec        string `json:"spec"`
+	Mode        string `json:"mode"`
+	Fingerprint string `json:"fingerprint"`
+	Satisfied   bool   `json:"satisfied"`
+	Recovered   bool   `json:"recovered,omitempty"`
+}
+
+// Instance is one admitted workflow instance.
+type Instance struct {
+	ID     uint64
+	Tenant string
+	Spec   string
+	Mode   string // "scripted" or "external"
+	Seed   int64
+
+	shard *shard
+	srv   *Server
+
+	mu        sync.Mutex
+	runner    *arun.Runner
+	transport arun.Transport
+	release   func()
+	started   time.Time
+	done      bool
+	verdict   *Verdict
+	recovered bool
+}
+
+type shard struct {
+	name string
+	// mu guards the close handshake: enqueue holds the read side for
+	// the send, drain takes the write side to set closed before
+	// closing the mailbox, so no send can race the close.
+	mu     sync.RWMutex
+	closed bool
+	mbox   chan func()
+	wg     sync.WaitGroup
+}
+
+// tenantLog pairs an open log with its append high-water mark.
+type tenantLog struct {
+	log     *wal.Log
+	lastLSN atomic.Uint64
+}
+
+// Server hosts the registry, the shard pool, and the verdict stream.
+type Server struct {
+	cfg  Config
+	reg  *Registry
+	ring *netwire.Ring
+
+	shards []*shard
+
+	mu        sync.Mutex
+	instances map[uint64]*Instance
+	logs      map[string]*tenantLog // tenant "/" logname
+	nextID    uint64
+
+	draining  atomic.Bool
+	drainOnce sync.Once
+
+	verdicts *verdictStream
+}
+
+const (
+	ModeScripted = "scripted"
+	ModeExternal = "external"
+)
+
+// NewServer builds (and, when WALRoot holds prior state, recovers) a
+// server.  Call Drain before discarding it.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MailboxDepth <= 0 {
+		cfg.MailboxDepth = 256
+	}
+	if cfg.HighWater <= 0 {
+		cfg.HighWater = cfg.MailboxDepth * 3 / 4
+	}
+	if cfg.FsyncLagMax == 0 {
+		cfg.FsyncLagMax = 4096
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 15 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:       cfg,
+		reg:       NewRegistry(cfg.RegistryCap),
+		ring:      netwire.NewRing(0),
+		instances: map[uint64]*Instance{},
+		logs:      map[string]*tenantLog{},
+		verdicts:  newVerdictStream(4096),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			name: "shard-" + strconv.Itoa(i),
+			mbox: make(chan func(), cfg.MailboxDepth),
+		}
+		s.shards = append(s.shards, sh)
+		s.ring.Add(sh.name)
+		sh.wg.Add(1)
+		go func() {
+			defer sh.wg.Done()
+			for task := range sh.mbox {
+				task()
+			}
+		}()
+	}
+	if cfg.WALRoot != "" {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Registry exposes the plan registry (for direct registration paths).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// log returns (opening lazily) the tenant's named log.  nil, nil when
+// the server runs without durability.
+func (s *Server) log(tenant, name string) (*tenantLog, error) {
+	if s.cfg.WALRoot == "" {
+		return nil, nil
+	}
+	key := tenant + "/" + name
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tl := s.logs[key]; tl != nil {
+		return tl, nil
+	}
+	l, err := wal.Open(wal.TenantDir(s.cfg.WALRoot, tenant, name), wal.Options{NoSync: s.cfg.WALNoSync})
+	if err != nil {
+		return nil, err
+	}
+	tl := &tenantLog{log: l}
+	s.logs[key] = tl
+	return tl, nil
+}
+
+// append journals one record durably (WaitDurable) and tracks the
+// log's append high-water mark.
+func (tl *tenantLog) append(r wal.Record) {
+	lsn := tl.log.Append(r)
+	for {
+		old := tl.lastLSN.Load()
+		if lsn <= old || tl.lastLSN.CompareAndSwap(old, lsn) {
+			break
+		}
+	}
+	tl.log.WaitDurable(lsn)
+}
+
+// lag is the unsynced tail length.
+func (tl *tenantLog) lag() int64 {
+	return int64(tl.lastLSN.Load()) - int64(tl.log.Durable())
+}
+
+// RegisterSpec registers (and journals) a spec for a tenant.
+func (s *Server) RegisterSpec(tenant, name, source string) (*PlanEntry, *Error) {
+	if s.draining.Load() {
+		return nil, errf(503, "draining")
+	}
+	e, rerr := s.reg.Register(tenant, name, source)
+	if rerr != nil {
+		mRejected.Inc()
+		return nil, rerr
+	}
+	tl, err := s.log(tenant, "registry")
+	if err != nil {
+		return nil, errf(500, "registry log: %v", err)
+	}
+	if tl != nil {
+		tl.append(wal.Record{Kind: wal.KSpecReg, Site: tenant, Sym: name, Payload: []byte(source)})
+	}
+	return e, nil
+}
+
+// shardFor places an instance on its shard.
+func (s *Server) shardFor(id uint64) *shard {
+	name := s.ring.Place("inst-" + strconv.FormatUint(id, 10))
+	for _, sh := range s.shards {
+		if sh.name == name {
+			return sh
+		}
+	}
+	return s.shards[0]
+}
+
+// Launch admits one instance of a registered spec.  mode is
+// ModeScripted (the spec's agents drive it to completion on the shard
+// worker) or ModeExternal (the instance stays open for Announce until
+// CloseInstance or drain).  Admission sheds with 429 when the target
+// shard's mailbox or WAL lag crosses the watermarks and refuses with
+// 503 while draining.
+func (s *Server) Launch(tenant, name, mode string, seed int64) (*Instance, *Error) {
+	if mode == "" {
+		mode = ModeScripted
+	}
+	if mode != ModeScripted && mode != ModeExternal {
+		return nil, errf(400, "unknown mode %q", mode)
+	}
+	if s.draining.Load() {
+		return nil, errf(503, "draining")
+	}
+	entry, rerr := s.reg.Lookup(tenant, name)
+	if rerr != nil {
+		return nil, rerr
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+	sh := s.shardFor(id)
+
+	if depth := len(sh.mbox); depth >= s.cfg.HighWater {
+		mShed.Inc()
+		entry.Stats.Shed.Add(1)
+		return nil, &Error{Status: 429, Msg: fmt.Sprintf("shard %s at depth %d", sh.name, depth),
+			RetryAfter: 1 + depth/256}
+	}
+	tl, err := s.log(tenant, sh.name)
+	if err != nil {
+		return nil, errf(500, "shard log: %v", err)
+	}
+	if tl != nil && s.cfg.FsyncLagMax > 0 && tl.lag() > s.cfg.FsyncLagMax {
+		mShed.Inc()
+		mShedWAL.Inc()
+		entry.Stats.Shed.Add(1)
+		return nil, &Error{Status: 429, Msg: "wal fsync lag", RetryAfter: 1}
+	}
+
+	admitStart := time.Now()
+	if tl != nil {
+		tl.append(wal.Record{Kind: wal.KAdmit, Seq: id, Site: tenant, Sym: name, Note: mode, At: seed})
+	}
+	mAdmitWaitUS.Observe(time.Since(admitStart).Microseconds())
+
+	inst := &Instance{ID: id, Tenant: tenant, Spec: name, Mode: mode, Seed: seed, shard: sh, srv: s}
+	s.mu.Lock()
+	s.instances[id] = inst
+	s.mu.Unlock()
+	mAdmitted.Inc()
+	mActive.Add(1)
+	entry.Stats.Launched.Add(1)
+
+	if !s.enqueue(sh, func() { inst.start(entry) }) {
+		// Raced a drain or a full mailbox after the watermark check:
+		// roll the admission back, closing the journaled admit so a
+		// restart does not resurrect the shed instance.
+		if tl != nil {
+			tl.append(wal.Record{Kind: wal.KDone, Seq: id, Note: "shed"})
+		}
+		s.mu.Lock()
+		delete(s.instances, id)
+		s.mu.Unlock()
+		mActive.Add(-1)
+		mShed.Inc()
+		entry.Stats.Shed.Add(1)
+		return nil, &Error{Status: 429, Msg: "shard mailbox full", RetryAfter: 1}
+	}
+	return inst, nil
+}
+
+// enqueue posts a task unless the mailbox is full or closed.
+func (s *Server) enqueue(sh *shard, task func()) bool {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.closed {
+		return false
+	}
+	select {
+	case sh.mbox <- task:
+		return true
+	default:
+		return false
+	}
+}
+
+// start runs on the shard worker: it builds the instance's runner and,
+// for scripted mode, drives it to completion.
+func (inst *Instance) start(entry *PlanEntry) {
+	plan, sat, release, rerr := entry.Acquire()
+	if rerr != nil {
+		inst.srv.cfg.Logf("serve: instance %d: %v", inst.ID, rerr)
+		inst.finalize(entry, nil)
+		return
+	}
+	// Same transport construction as the engine's sim mode, so a hosted
+	// instance at seed s reproduces the engine oracle's fingerprint.
+	tr := engine.SimTransport(inst.Seed)
+	r, err := plan.NewRunner(tr, arun.RunnerOptions{
+		IdleTimeout: inst.srv.cfg.IdleTimeout,
+		SatCache:    sat,
+		Instance:    uint32(inst.ID),
+	})
+	if err != nil {
+		release()
+		tr.Close()
+		inst.srv.cfg.Logf("serve: instance %d: %v", inst.ID, err)
+		inst.finalize(entry, nil)
+		return
+	}
+	inst.mu.Lock()
+	inst.runner = r
+	inst.transport = tr
+	inst.release = release
+	inst.started = time.Now()
+	inst.mu.Unlock()
+
+	if inst.Mode == ModeScripted {
+		out, err := r.Run()
+		if err != nil {
+			inst.srv.cfg.Logf("serve: instance %d run: %v", inst.ID, err)
+		}
+		inst.finalize(entry, out)
+	}
+}
+
+// finalize completes an instance: journal, verdict, stats, release.
+func (inst *Instance) finalize(entry *PlanEntry, out *arun.Outcome) {
+	inst.mu.Lock()
+	if inst.done {
+		inst.mu.Unlock()
+		return
+	}
+	inst.done = true
+	release := inst.release
+	tr := inst.transport
+	started := inst.started
+	recovered := inst.recovered
+	inst.release = nil
+	inst.transport = nil
+	inst.mu.Unlock()
+
+	fp, satisfied := "error", false
+	if out != nil {
+		fp, satisfied = out.Fingerprint(), out.Satisfied
+	}
+	if tl, err := inst.srv.log(inst.Tenant, inst.shard.name); err == nil && tl != nil {
+		tl.append(wal.Record{Kind: wal.KDone, Seq: inst.ID, Note: fp})
+	}
+	v := &Verdict{
+		ID: inst.ID, Tenant: inst.Tenant, Spec: inst.Spec, Mode: inst.Mode,
+		Fingerprint: fp, Satisfied: satisfied, Recovered: recovered,
+	}
+	inst.mu.Lock()
+	inst.verdict = v
+	inst.mu.Unlock()
+	inst.srv.verdicts.push(v)
+	mCompleted.Inc()
+	mActive.Add(-1)
+	if entry != nil {
+		entry.Stats.Completed.Add(1)
+		if satisfied {
+			entry.Stats.Satisfied.Add(1)
+		} else {
+			entry.Stats.Unsatisfied.Add(1)
+		}
+	}
+	if !started.IsZero() {
+		mInstanceUS.Observe(time.Since(started).Microseconds())
+	}
+	if release != nil {
+		release()
+	}
+	if tr != nil {
+		tr.Close()
+	}
+}
+
+// Get returns an admitted instance.
+func (s *Server) Get(id uint64) (*Instance, *Error) {
+	s.mu.Lock()
+	inst := s.instances[id]
+	s.mu.Unlock()
+	if inst == nil {
+		return nil, errf(404, "instance %d not found", id)
+	}
+	return inst, nil
+}
+
+// AnnounceResult is the decision state of one external announcement.
+type AnnounceResult struct {
+	Decided  bool `json:"decided"`
+	Accepted bool `json:"accepted"`
+}
+
+// Announce feeds one external event into a running external-mode
+// instance, journals it, and reports the decision.  The attempt runs
+// on the instance's shard worker, serialized with its other
+// operations.
+func (s *Server) Announce(id uint64, event string, forced bool) (AnnounceResult, *Error) {
+	if s.draining.Load() {
+		return AnnounceResult{}, errf(503, "draining")
+	}
+	inst, rerr := s.Get(id)
+	if rerr != nil {
+		return AnnounceResult{}, rerr
+	}
+	if inst.Mode != ModeExternal {
+		return AnnounceResult{}, errf(409, "instance %d is %s, not external", id, inst.Mode)
+	}
+	sym, err := algebra.ParseSymbol(event)
+	if err != nil {
+		return AnnounceResult{}, errf(400, "bad event %q: %v", event, err)
+	}
+
+	type reply struct {
+		res  AnnounceResult
+		rerr *Error
+	}
+	ch := make(chan reply, 1)
+	if !s.enqueue(inst.shard, func() {
+		inst.mu.Lock()
+		done, r := inst.done, inst.runner
+		inst.mu.Unlock()
+		if done || r == nil {
+			ch <- reply{rerr: errf(409, "instance %d already completed", id)}
+			return
+		}
+		note := ""
+		if forced {
+			note = "forced"
+		}
+		if tl, err := s.log(inst.Tenant, inst.shard.name); err == nil && tl != nil {
+			tl.append(wal.Record{Kind: wal.KEvent, Seq: id, Sym: event, Note: note})
+		}
+		decided, accepted, err := r.Attempt(sym, forced)
+		if err != nil {
+			ch <- reply{rerr: errf(422, "attempt %s: %v", event, err)}
+			return
+		}
+		mAnnounces.Inc()
+		if entry, rerr := s.reg.Lookup(inst.Tenant, inst.Spec); rerr == nil {
+			entry.Stats.Announces.Add(1)
+		}
+		ch <- reply{res: AnnounceResult{Decided: decided, Accepted: accepted}}
+	}) {
+		mShed.Inc()
+		return AnnounceResult{}, &Error{Status: 429, Msg: "shard mailbox full", RetryAfter: 1}
+	}
+	rep := <-ch
+	return rep.res, rep.rerr
+}
+
+// CloseInstance finishes an external instance: closeout passes to a
+// maximal trace, durable KDone, verdict.  Scripted instances complete
+// on their own; closing one that already finished returns its verdict
+// idempotently.
+func (s *Server) CloseInstance(id uint64) (*Verdict, *Error) {
+	inst, rerr := s.Get(id)
+	if rerr != nil {
+		return nil, rerr
+	}
+	inst.mu.Lock()
+	if inst.done {
+		v := inst.verdict
+		inst.mu.Unlock()
+		if v != nil {
+			return v, nil
+		}
+		return nil, errf(409, "instance %d completed without verdict", id)
+	}
+	inst.mu.Unlock()
+	if inst.Mode != ModeExternal {
+		return nil, errf(409, "instance %d is %s; it completes on its own", id, inst.Mode)
+	}
+
+	type reply struct {
+		v    *Verdict
+		rerr *Error
+	}
+	ch := make(chan reply, 1)
+	if !s.enqueue(inst.shard, func() {
+		inst.mu.Lock()
+		done, r := inst.done, inst.runner
+		v := inst.verdict
+		inst.mu.Unlock()
+		if done {
+			ch <- reply{v: v}
+			return
+		}
+		if r == nil {
+			ch <- reply{rerr: errf(500, "instance %d has no runner", id)}
+			return
+		}
+		out, err := r.Finish()
+		if err != nil {
+			s.cfg.Logf("serve: finish %d: %v", id, err)
+		}
+		entry, _ := s.reg.Lookup(inst.Tenant, inst.Spec)
+		inst.finalize(entry, out)
+		inst.mu.Lock()
+		v = inst.verdict
+		inst.mu.Unlock()
+		ch <- reply{v: v}
+	}) {
+		mShed.Inc()
+		return nil, &Error{Status: 429, Msg: "shard mailbox full", RetryAfter: 1}
+	}
+	rep := <-ch
+	return rep.v, rep.rerr
+}
+
+// Drain stops admissions, settles every in-flight instance, closes
+// open external instances to their maximal-trace outcomes, syncs and
+// closes all logs.  Idempotent; safe to call from a signal handler
+// path.
+func (s *Server) Drain() {
+	s.drainOnce.Do(s.drain)
+}
+
+func (s *Server) drain() {
+	s.draining.Store(true)
+	// Stop the shard workers after their queues empty.
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		close(sh.mbox)
+		sh.mu.Unlock()
+	}
+	for _, sh := range s.shards {
+		sh.wg.Wait()
+	}
+	// Settle still-open instances (external ones awaiting CloseInstance,
+	// or scripted ones whose start task never ran) inline.
+	s.mu.Lock()
+	var open []*Instance
+	for _, inst := range s.instances {
+		open = append(open, inst)
+	}
+	s.mu.Unlock()
+	for _, inst := range open {
+		inst.mu.Lock()
+		done, r := inst.done, inst.runner
+		inst.mu.Unlock()
+		if done {
+			continue
+		}
+		entry, _ := s.reg.Lookup(inst.Tenant, inst.Spec)
+		if r == nil {
+			// Admitted but never started: run it now so the admission's
+			// durable KAdmit gets its KDone.
+			if entry != nil {
+				inst.start(entry)
+				inst.mu.Lock()
+				r = inst.runner
+				inst.mu.Unlock()
+			}
+		}
+		if r != nil {
+			inst.mu.Lock()
+			stillOpen := !inst.done
+			inst.mu.Unlock()
+			if stillOpen {
+				out, err := r.Finish()
+				if err != nil {
+					s.cfg.Logf("serve: drain finish %d: %v", inst.ID, err)
+				}
+				inst.finalize(entry, out)
+			}
+		}
+	}
+	// Seal the logs.
+	s.mu.Lock()
+	logs := s.logs
+	s.logs = map[string]*tenantLog{}
+	s.mu.Unlock()
+	for _, tl := range logs {
+		tl.log.Sync()
+		tl.log.Close()
+	}
+}
+
+// Draining reports whether a drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Stats snapshots service-level state for the status endpoints.
+type Stats struct {
+	Shards    int            `json:"shards"`
+	Active    int64          `json:"active"`
+	Depths    map[string]int `json:"depths"`
+	Draining  bool           `json:"draining"`
+	Instances int            `json:"instances"`
+}
+
+// Stats returns current depths and counts.
+func (s *Server) Stats() Stats {
+	st := Stats{Shards: len(s.shards), Depths: map[string]int{}, Draining: s.draining.Load()}
+	for _, sh := range s.shards {
+		st.Depths[sh.name] = len(sh.mbox)
+	}
+	st.Active = mActive.Value()
+	s.mu.Lock()
+	st.Instances = len(s.instances)
+	s.mu.Unlock()
+	return st
+}
+
+// recover replays per-tenant logs: registry logs re-register specs,
+// shard logs re-run incomplete scripted instances and re-open
+// incomplete external ones (replaying their journaled announcements).
+func (s *Server) recover() error {
+	root := s.cfg.WALRoot
+	tenants, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var maxID uint64
+	type pending struct {
+		inst   *Instance
+		events []wal.Record
+	}
+	var relaunch []pending
+	for _, te := range tenants {
+		if !te.IsDir() {
+			continue
+		}
+		tenant := te.Name()
+		// Registry first: instances need their specs compiled.
+		rl, err := s.log(tenant, "registry")
+		if err != nil {
+			return err
+		}
+		if rl != nil {
+			for _, r := range rl.log.Recovery().Serve {
+				if r.Kind != wal.KSpecReg {
+					continue
+				}
+				if _, rerr := s.reg.Register(r.Site, r.Sym, string(r.Payload)); rerr != nil {
+					s.cfg.Logf("serve: recover spec %s/%s: %v", r.Site, r.Sym, rerr)
+				}
+			}
+		}
+		for _, sh := range s.shards {
+			dirs, err := os.ReadDir(wal.TenantDir(root, tenant, sh.name))
+			if err != nil || len(dirs) == 0 {
+				continue
+			}
+			tl, err := s.log(tenant, sh.name)
+			if err != nil {
+				return err
+			}
+			admits := map[uint64]wal.Record{}
+			events := map[uint64][]wal.Record{}
+			done := map[uint64]bool{}
+			for _, r := range tl.log.Recovery().Serve {
+				switch r.Kind {
+				case wal.KAdmit:
+					admits[r.Seq] = r
+				case wal.KEvent:
+					events[r.Seq] = append(events[r.Seq], r)
+				case wal.KDone:
+					done[r.Seq] = true
+				}
+			}
+			for id, ad := range admits {
+				if id > maxID {
+					maxID = id
+				}
+				if done[id] {
+					continue
+				}
+				inst := &Instance{
+					ID: id, Tenant: ad.Site, Spec: ad.Sym, Mode: ad.Note,
+					Seed: ad.At, shard: sh, srv: s, recovered: true,
+				}
+				s.instances[id] = inst
+				mActive.Add(1)
+				relaunch = append(relaunch, pending{inst: inst, events: events[id]})
+			}
+		}
+	}
+	if maxID > s.nextID {
+		s.nextID = maxID
+	}
+	for _, p := range relaunch {
+		p := p
+		entry, rerr := s.reg.Lookup(p.inst.Tenant, p.inst.Spec)
+		if rerr != nil {
+			s.cfg.Logf("serve: recover instance %d: %v", p.inst.ID, rerr)
+			s.mu.Lock()
+			delete(s.instances, p.inst.ID)
+			s.mu.Unlock()
+			mActive.Add(-1)
+			continue
+		}
+		mRecovered.Inc()
+		if !s.enqueue(p.inst.shard, func() {
+			p.inst.start(entry)
+			// Replay journaled external announcements without re-logging.
+			if p.inst.Mode == ModeExternal {
+				p.inst.mu.Lock()
+				r := p.inst.runner
+				p.inst.mu.Unlock()
+				if r == nil {
+					return
+				}
+				for _, ev := range p.events {
+					sym, err := algebra.ParseSymbol(ev.Sym)
+					if err != nil {
+						continue
+					}
+					if _, _, err := r.Attempt(sym, ev.Note == "forced"); err != nil {
+						s.cfg.Logf("serve: recover replay %d %s: %v", p.inst.ID, ev.Sym, err)
+					}
+				}
+			}
+		}) {
+			s.cfg.Logf("serve: recover instance %d: mailbox full", p.inst.ID)
+		}
+	}
+	return nil
+}

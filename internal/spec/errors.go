@@ -1,0 +1,48 @@
+package spec
+
+import "fmt"
+
+// ParseError is a structured spec parse failure: the line it occurred
+// on, the directive being parsed, and (when the failure is about a
+// specific event symbol) the offending event.  API layers that accept
+// spec uploads surface these fields directly — a client gets "line 7,
+// event c_buy" instead of an opaque server error — while Error() keeps
+// the exact "spec: line N: ..." text the CLI tools have always
+// printed.
+type ParseError struct {
+	// Line is the 1-based source line, or 0 for whole-file errors
+	// (e.g. a spec with no dependencies).
+	Line int
+	// Directive is the directive being parsed when the error occurred
+	// ("workflow", "dep", "event", "agent", "step"), if any.
+	Directive string
+	// Event is the offending event symbol, when the error concerns one.
+	Event string
+	// Msg is the human-readable description, without the "spec: line
+	// N:" prefix.
+	Msg string
+	// Err is the wrapped cause (e.g. an algebra parse error), if any.
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("spec: line %d: %s", e.Line, e.Msg)
+	}
+	return "spec: " + e.Msg
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// perr builds a ParseError with a formatted message, capturing a
+// wrapped cause when the last argument is an error formatted with %w
+// semantics (we keep it simple: callers pass the cause explicitly).
+func perr(line int, directive, event string, cause error, format string, args ...any) *ParseError {
+	return &ParseError{
+		Line:      line,
+		Directive: directive,
+		Event:     event,
+		Msg:       fmt.Sprintf(format, args...),
+		Err:       cause,
+	}
+}

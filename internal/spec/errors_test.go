@@ -1,0 +1,113 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseErrorStructured: every parse failure is a *ParseError
+// carrying the source line, and event-level failures name the
+// offending event — the structure the serving API's 4xx responses are
+// built from.
+func TestParseErrorStructured(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		line  int
+		dir   string
+		event string
+		msg   string // substring of Msg
+	}{
+		{
+			name: "bad workflow arity",
+			src:  "workflow a b\n",
+			line: 1, dir: "workflow", msg: "exactly one name",
+		},
+		{
+			name: "bad dep expression",
+			src:  "workflow w\ndep ~+\n",
+			line: 2, dir: "dep",
+		},
+		{
+			name: "event missing symbol",
+			src:  "dep a + b\nevent\n",
+			line: 2, dir: "event", msg: "needs a symbol",
+		},
+		{
+			name: "unknown event option",
+			src:  "dep a + b\nevent a site=s0 explosive\n",
+			line: 2, dir: "event", event: "a", msg: `unknown event option "explosive"`,
+		},
+		{
+			name: "agent missing site",
+			src:  "dep a + b\nagent buyer\n",
+			line: 2, dir: "agent", msg: "site=",
+		},
+		{
+			name: "orphan step",
+			src:  "dep a + b\nstep a\n",
+			line: 2, dir: "step", msg: "outside an agent",
+		},
+		{
+			name: "bad think value",
+			src:  "dep a + b\nagent x site=s0\nstep a think=minus\n",
+			line: 3, dir: "step", event: "a", msg: "bad think value",
+		},
+		{
+			name: "unknown step option",
+			src:  "dep a + b\nagent x site=s0\nstep a loudly\n",
+			line: 3, dir: "step", event: "a", msg: `unknown step option "loudly"`,
+		},
+		{
+			name: "unknown directive",
+			src:  "dep a + b\nfrobnicate\n",
+			line: 2, msg: `unknown directive "frobnicate"`,
+		},
+		{
+			name: "empty spec",
+			src:  "# nothing\n",
+			line: 0, msg: "no dependencies",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseString(c.src)
+			if err == nil {
+				t.Fatal("parse succeeded, want error")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T %q is not a *ParseError", err, err)
+			}
+			if pe.Line != c.line {
+				t.Errorf("Line = %d, want %d", pe.Line, c.line)
+			}
+			if pe.Directive != c.dir {
+				t.Errorf("Directive = %q, want %q", pe.Directive, c.dir)
+			}
+			if pe.Event != c.event {
+				t.Errorf("Event = %q, want %q", pe.Event, c.event)
+			}
+			if c.msg != "" && !strings.Contains(pe.Msg, c.msg) {
+				t.Errorf("Msg %q missing %q", pe.Msg, c.msg)
+			}
+			// The rendered text keeps the historical "spec: line N:" shape.
+			if c.line > 0 && !strings.Contains(err.Error(), "spec: line ") {
+				t.Errorf("Error() %q lost the spec: line prefix", err)
+			}
+		})
+	}
+}
+
+// TestParseErrorUnwrap: algebra-level causes stay reachable.
+func TestParseErrorUnwrap(t *testing.T) {
+	_, err := ParseString("dep ~+\n")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("not a ParseError: %v", err)
+	}
+	if pe.Unwrap() == nil {
+		t.Error("dep expression error lost its algebra cause")
+	}
+}

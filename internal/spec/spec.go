@@ -84,7 +84,7 @@ func Parse(r io.Reader) (*Spec, error) {
 		switch fields[0] {
 		case "workflow":
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("spec: line %d: workflow needs exactly one name", lineNo)
+				return nil, perr(lineNo, "workflow", "", nil, "workflow needs exactly one name")
 			}
 			s.Name = fields[1]
 		case "dep":
@@ -96,17 +96,17 @@ func Parse(r io.Reader) (*Spec, error) {
 			}
 			d, err := algebra.Parse(rest)
 			if err != nil {
-				return nil, fmt.Errorf("spec: line %d: %w", lineNo, err)
+				return nil, perr(lineNo, "dep", "", err, "%v", err)
 			}
 			s.Workflow.Deps = append(s.Workflow.Deps, d)
 			s.Workflow.Names = append(s.Workflow.Names, label)
 		case "event":
 			if len(fields) < 2 {
-				return nil, fmt.Errorf("spec: line %d: event needs a symbol", lineNo)
+				return nil, perr(lineNo, "event", "", nil, "event needs a symbol")
 			}
 			sym, err := algebra.ParseSymbol(fields[1])
 			if err != nil {
-				return nil, fmt.Errorf("spec: line %d: %w", lineNo, err)
+				return nil, perr(lineNo, "event", fields[1], err, "%v", err)
 			}
 			meta := EventMeta{Sym: sym.Base()}
 			for _, opt := range fields[2:] {
@@ -118,13 +118,13 @@ func Parse(r io.Reader) (*Spec, error) {
 				case opt == "rejectable":
 					meta.Rejectable = true
 				default:
-					return nil, fmt.Errorf("spec: line %d: unknown event option %q", lineNo, opt)
+					return nil, perr(lineNo, "event", meta.Sym.Key(), nil, "unknown event option %q", opt)
 				}
 			}
 			s.Events[meta.Sym.Key()] = meta
 		case "agent":
 			if len(fields) < 3 || !strings.HasPrefix(fields[2], "site=") {
-				return nil, fmt.Errorf("spec: line %d: agent needs an id and site=", lineNo)
+				return nil, perr(lineNo, "agent", "", nil, "agent needs an id and site=")
 			}
 			current = &sched.AgentScript{
 				ID:   fields[1],
@@ -133,7 +133,7 @@ func Parse(r io.Reader) (*Spec, error) {
 			s.Agents = append(s.Agents, current)
 		case "step":
 			if current == nil {
-				return nil, fmt.Errorf("spec: line %d: step outside an agent", lineNo)
+				return nil, perr(lineNo, "step", "", nil, "step outside an agent")
 			}
 			step, err := parseStep(fields[1:], lineNo)
 			if err != nil {
@@ -141,25 +141,25 @@ func Parse(r io.Reader) (*Spec, error) {
 			}
 			current.Steps = append(current.Steps, step)
 		default:
-			return nil, fmt.Errorf("spec: line %d: unknown directive %q", lineNo, fields[0])
+			return nil, perr(lineNo, "", "", nil, "unknown directive %q", fields[0])
 		}
 	}
 	if err := scanner.Err(); err != nil {
 		return nil, fmt.Errorf("spec: %w", err)
 	}
 	if len(s.Workflow.Deps) == 0 {
-		return nil, fmt.Errorf("spec: no dependencies")
+		return nil, perr(0, "", "", nil, "no dependencies")
 	}
 	return s, nil
 }
 
 func parseStep(fields []string, lineNo int) (sched.Step, error) {
 	if len(fields) < 1 {
-		return sched.Step{}, fmt.Errorf("spec: line %d: step needs a symbol", lineNo)
+		return sched.Step{}, perr(lineNo, "step", "", nil, "step needs a symbol")
 	}
 	sym, err := algebra.ParseSymbol(fields[0])
 	if err != nil {
-		return sched.Step{}, fmt.Errorf("spec: line %d: %w", lineNo, err)
+		return sched.Step{}, perr(lineNo, "step", fields[0], err, "%v", err)
 	}
 	st := sched.Step{Sym: sym}
 	for _, opt := range fields[1:] {
@@ -167,7 +167,7 @@ func parseStep(fields []string, lineNo int) (sched.Step, error) {
 		case strings.HasPrefix(opt, "think="):
 			n, err := strconv.ParseInt(strings.TrimPrefix(opt, "think="), 10, 64)
 			if err != nil || n < 0 {
-				return sched.Step{}, fmt.Errorf("spec: line %d: bad think value %q", lineNo, opt)
+				return sched.Step{}, perr(lineNo, "step", st.Sym.Key(), nil, "bad think value %q", opt)
 			}
 			st.Think = simnet.Time(n)
 		case opt == "forced":
@@ -176,12 +176,12 @@ func parseStep(fields []string, lineNo int) (sched.Step, error) {
 			for _, part := range strings.Split(strings.TrimPrefix(opt, "onreject="), ";") {
 				alt, err := algebra.ParseSymbol(part)
 				if err != nil {
-					return sched.Step{}, fmt.Errorf("spec: line %d: onreject %q: %w", lineNo, part, err)
+					return sched.Step{}, perr(lineNo, "step", part, err, "onreject %q: %v", part, err)
 				}
 				st.OnReject = append(st.OnReject, sched.Step{Sym: alt})
 			}
 		default:
-			return sched.Step{}, fmt.Errorf("spec: line %d: unknown step option %q", lineNo, opt)
+			return sched.Step{}, perr(lineNo, "step", st.Sym.Key(), nil, "unknown step option %q", opt)
 		}
 	}
 	return st, nil

@@ -80,15 +80,15 @@ const (
 // Record is the single codec shared by every kind; unused fields stay
 // zero and encode compactly.
 type Record struct {
-	Kind  byte
-	Site  string
-	Site2 string
-	Peer  string
-	Sym   string
-	Note  string
-	Seq   uint64
-	Clock int64
-	At    int64
+	Kind    byte
+	Site    string
+	Site2   string
+	Peer    string
+	Sym     string
+	Note    string
+	Seq     uint64
+	Clock   int64
+	At      int64
 	Payload []byte
 }
 
@@ -146,12 +146,16 @@ type Recovery struct {
 	Acked      map[string]uint64
 	Watermarks map[string]uint64
 	SentSeq    map[string]uint64
+	// Serve holds serving-layer records (KSpecReg, KAdmit, KEvent,
+	// KDone) in log order; internal/serve folds them itself.
+	Serve []Record
 }
 
 // Empty reports that recovery has nothing to restore.
 func (r *Recovery) Empty() bool {
 	return r == nil || (len(r.SnapSites) == 0 && len(r.Ins) == 0 && len(r.Fires) == 0 &&
-		len(r.Unacked) == 0 && len(r.Acked) == 0 && len(r.Watermarks) == 0 && r.Clock == 0)
+		len(r.Unacked) == 0 && len(r.Acked) == 0 && len(r.Watermarks) == 0 && r.Clock == 0 &&
+		len(r.Serve) == 0)
 }
 
 // PairKey builds the OutCounts key for a (from, to) site pair.
@@ -264,6 +268,8 @@ func (rec *Recovery) fold(r Record) {
 		rec.Fires = append(rec.Fires, r.At)
 	case KCkpt:
 		rec.foldMeta(r.Payload)
+	case KSpecReg, KAdmit, KEvent, KDone:
+		rec.Serve = append(rec.Serve, r)
 	}
 }
 
