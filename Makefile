@@ -6,6 +6,7 @@
 #   make tracecheck  golden-replay determinism + trace invariants over the chaos suite
 #   make enginestress  256-instance engine stress under -race, uncached
 #   make crashcheck  WAL kill/restart recovery suite, uncached
+#   make walcheck    WAL commit-pipeline suite under -race, incl. SIGKILL in the commit window
 #   make servecheck  wfserve daemon acceptance: 1000+ instances, shed, drain, WAL recovery
 #   make benchsmoke  compile-and-run every benchmark once
 #   make fuzzsmoke   brief run of every fuzz target
@@ -13,9 +14,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race enginestress tracecheck crashcheck servecheck bench benchsmoke fuzzsmoke
+.PHONY: ci build vet test race enginestress tracecheck crashcheck walcheck servecheck bench benchsmoke fuzzsmoke
 
-ci: build vet test race enginestress tracecheck crashcheck servecheck benchsmoke fuzzsmoke
+ci: build vet test race enginestress tracecheck crashcheck walcheck servecheck benchsmoke fuzzsmoke
 
 build:
 	$(GO) build ./...
@@ -59,6 +60,15 @@ tracecheck:
 crashcheck:
 	$(GO) test -count=1 -run 'TestCrashRestartChaos|TestSnapshotRecovery' ./internal/netwire
 
+# The commit-pipeline gate, always uncached and under -race: the whole
+# WAL package (group-commit coalescing, registration churn against a
+# live committer, notification ordering, recovery), plus the daemon
+# SIGKILL-inside-the-commit-window test proving every acknowledged
+# admission is already durable when the reply leaves.
+walcheck:
+	$(GO) test -race -count=1 ./internal/wal
+	$(GO) test -race -count=1 -run 'TestDaemonKillCommitWindow' ./cmd/wfserve
+
 # The serving gate, always uncached and under -race: the daemon hosts
 # two distinct specs, serves 1000+ concurrent instances over the HTTP
 # API with verdicts matching the engine's sim oracle per seed, sheds
@@ -71,11 +81,13 @@ servecheck:
 
 # Every benchmark must still compile and survive one iteration (keeps
 # the perf harness from rotting between measurement sessions), and the
-# zero-allocation contracts on the two hot paths — wire encoding and
-# program-mode announcement delivery — must still hold.
+# zero-allocation contracts on the three hot paths — wire encoding,
+# program-mode announcement delivery, and steady-state WAL append —
+# must still hold.
 benchsmoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	$(GO) test -count=1 -run 'TestAnnounceDeliverZeroAlloc|TestEncodeZeroAlloc' ./internal/actor
+	$(GO) test -count=1 -run 'TestWALAppendZeroAlloc' ./internal/wal
 
 # Every fuzz target gets a brief run; corpora live under each package's
 # testdata/fuzz/.  Targets run sequentially because go test allows only

@@ -23,7 +23,7 @@
 //	wfrun [-transport sim|live|net]
 //	      [-sched distributed|central-residuation|central-automata|all]
 //	      [-instances n] [-workers n]
-//	      [-wal dir] [-walnosync] [-walcheckpoint d]
+//	      [-wal dir] [-walnosync] [-walcheckpoint d] [-walcommitinterval d]
 //	      [-seed n] [-decisions] [-trace out.jsonl] [file.wf]
 package main
 
@@ -53,6 +53,7 @@ func main() {
 	walDir := flag.String("wal", "", "write-ahead-log root directory (net transport); reuse a dir to recover a crashed run")
 	walNoSync := flag.Bool("walnosync", false, "skip fsync on WAL flushes (fast, loses the durability guarantee)")
 	walCkpt := flag.Duration("walcheckpoint", 0, "periodic WAL watermark checkpoint interval (0 = off)")
+	walCommit := flag.Duration("walcommitinterval", 0, "shared group-commit window across all site logs (0 = commit as soon as the committer is free)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -64,7 +65,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	wal := walOpts{Dir: *walDir, NoSync: *walNoSync, Checkpoint: *walCkpt}
+	wal := walOpts{Dir: *walDir, NoSync: *walNoSync, Checkpoint: *walCkpt, Commit: *walCommit}
 	if err := run(in, os.Stdout, *transport, *kindFlag, *instances, *workers, *seed, *showDecisions, *traceOut, wal); err != nil {
 		fatal(err)
 	}
@@ -75,6 +76,7 @@ type walOpts struct {
 	Dir        string
 	NoSync     bool
 	Checkpoint time.Duration
+	Commit     time.Duration
 }
 
 // run executes the spec read from in on the requested transport and
@@ -144,6 +146,7 @@ func runEngine(s *spec.Spec, out io.Writer, transport string, instances, workers
 	res, err := engine.Run(s, engine.Options{
 		Instances: instances, Workers: workers, Mode: mode, Seed: seed,
 		WALRoot: wal.Dir, WALNoSync: wal.NoSync, CheckpointEvery: wal.Checkpoint,
+		WALCommitInterval: wal.Commit,
 	})
 	if err != nil {
 		return err
@@ -219,7 +222,7 @@ func runAsync(s *spec.Spec, out io.Writer, transport string, seed int64, wal wal
 	case "net":
 		mesh, merr := netwire.NewMeshOpts(arun.DefaultDriver, arun.Sites(s), netwire.MeshOptions{
 			WALRoot: wal.Dir, NoSync: wal.NoSync, CheckpointEvery: wal.Checkpoint,
-			DeferStart: wal.Dir != "",
+			CommitInterval: wal.Commit, DeferStart: wal.Dir != "",
 		})
 		if merr != nil {
 			return merr

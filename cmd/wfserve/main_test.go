@@ -10,9 +10,12 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // TestMain lets this test binary stand in for the wfserve executable:
@@ -222,6 +225,105 @@ func TestDaemonCrashRecovery(t *testing.T) {
 	}
 	if !strings.Contains(v.Fingerprint, "s_buy") || strings.Contains(v.Fingerprint, "~s_buy") {
 		t.Errorf("replayed s_buy missing from fingerprint %q", v.Fingerprint)
+	}
+}
+
+// TestDaemonKillCommitWindow aims SIGKILL inside the group-commit
+// window: a daemon running the pipelined durability path (shared
+// committer, widened -walcommitinterval) is killed while concurrent
+// launches stream in, and every launch that was acknowledged with 202
+// must have its KAdmit on disk — the reply-after-durable contract.
+// In-flight (unacknowledged) launches may be lost; acknowledged ones
+// may not.
+func TestDaemonKillCommitWindow(t *testing.T) {
+	walDir := t.TempDir()
+	d := startDaemon(t, "-listen", "127.0.0.1:0", "-shards", "2",
+		"-wal", walDir, "-walcommitinterval", "2ms", "../../testdata/travel.wf")
+
+	var mu sync.Mutex
+	acked := map[uint64]bool{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := fmt.Sprintf(`{"spec":"travel","seed":%d}`, g*10000+i)
+				resp, err := http.Post("http://"+d.addr+"/v1/instances",
+					"application/json", strings.NewReader(body))
+				if err != nil {
+					return // daemon killed mid-request: this launch is unacknowledged
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 202 {
+					continue
+				}
+				var launched struct {
+					IDs []uint64 `json:"ids"`
+				}
+				if json.Unmarshal(data, &launched) == nil {
+					mu.Lock()
+					for _, id := range launched.IDs {
+						acked[id] = true
+					}
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	time.Sleep(250 * time.Millisecond)
+	d.cmd.Process.Kill() // SIGKILL: no drain, no final commit
+	close(stop)
+	wg.Wait()
+	d.cmd.Wait()
+	mu.Lock()
+	n := len(acked)
+	mu.Unlock()
+	if n == 0 {
+		t.Fatal("no launches were acknowledged before the kill")
+	}
+
+	// Scan the dead daemon's logs directly, before any restart could
+	// rewrite them: every acknowledged admission must already be a
+	// durable KAdmit in its shard log.
+	durable := map[uint64]bool{}
+	for _, shard := range []string{"shard-0", "shard-1"} {
+		dir := wal.TenantDir(walDir, "default", shard)
+		if _, err := os.Stat(dir); err != nil {
+			continue
+		}
+		l, err := wal.Open(dir, wal.Options{})
+		if err != nil {
+			t.Fatalf("open %s after kill: %v", dir, err)
+		}
+		for _, r := range l.Recovery().Serve {
+			if r.Kind == wal.KAdmit {
+				durable[r.Seq] = true
+			}
+		}
+		l.Close()
+	}
+	missing := 0
+	for id := range acked {
+		if !durable[id] {
+			missing++
+			t.Errorf("acknowledged launch %d has no durable KAdmit", id)
+		}
+	}
+	t.Logf("kill window: %d acked, %d durable admits, %d missing", n, len(durable), missing)
+
+	// The survivor restarts healthy on the same root.
+	d2 := startDaemon(t, "-listen", "127.0.0.1:0", "-shards", "2",
+		"-wal", walDir, "-walcommitinterval", "2ms")
+	if code, body := d2.get(t, "/healthz"); code != 200 {
+		t.Fatalf("healthz after kill-window restart: %d %s", code, body)
 	}
 }
 

@@ -104,6 +104,7 @@ func All() []Experiment {
 		{"P13", P13, "WAL durability overhead: off vs on vs on+checkpoint"},
 		{"P14", P14, "flat guard programs: bitset delivery vs tree evaluation"},
 		{"P15", P15, "wfserve service throughput vs arrival rate, WAL off/on"},
+		{"P16", P16, "pipelined durability: concurrent open-loop, WAL off/on/on+inline"},
 	}
 }
 

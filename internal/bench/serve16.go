@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// P16 measures the pipelined durability path (async group-commit WAL
+// with cross-log fsync coalescing): the P15 open-loop sweep, but with
+// concurrent dispatch — every arrival launches from its own goroutine,
+// the way real clients hit the daemon — and four tenants, so each
+// shard's committer sees several per-tenant logs in one commit window.
+// Three modes per rate: wal=off (volatile ceiling), wal=on (the
+// pipelined path: reply-after-durable, shared committer), and
+// wal=on+inline (ablation: the pre-pipeline blocking path, every
+// append fsyncing its own log inside the handler).  rec/fsync is the
+// achieved group-commit width from the wal.records / wal.syncs diff.
+func P16() *Table {
+	t := &Table{
+		ID:    "P16",
+		Title: "wfserve pipelined durability: concurrent open-loop, WAL off / on / on+inline",
+		Header: []string{"arrival/s", "wal", "admitted", "shed", "wall ms",
+			"p50 ms", "p99 ms", "admit p99 ms", "inst/s", "rec/fsync"},
+		Notes: []string{
+			"concurrent open-loop: each arrival launches from its own goroutine across 4 tenants",
+			"wal=on replies after the shared committer's group commit; on+inline blocks per append (ablation)",
+			"p50/p99 from serve.instance_us; admit p99 from serve.admit_wait_us; rec/fsync from wal.records/wal.syncs",
+		},
+	}
+
+	const n = 2000
+	rates := []int{1000, 4000, 16000}
+	tenants := []string{"acme", "globex", "initech", "umbrella"}
+	denseSrc := p11DenseSrc(6, 3)
+	modes := []struct {
+		label  string
+		wal    bool
+		inline bool
+	}{
+		{"off", false, false},
+		{"on", true, false},
+		{"on+inline", true, true},
+	}
+
+	for _, mode := range modes {
+		for _, rate := range rates {
+			cfg := serve.Config{Shards: 8, MailboxDepth: 4 * n, WALInlineSync: mode.inline}
+			if mode.wal && !mode.inline {
+				// Widen the group-commit window past the fsync time:
+				// fewer, fatter rounds cost less CPU than committing
+				// every record the moment it lands.
+				cfg.WALCommitInterval = 2 * time.Millisecond
+			}
+			if mode.wal {
+				dir, err := os.MkdirTemp("", "p16wal")
+				if err != nil {
+					panic(err)
+				}
+				defer os.RemoveAll(dir)
+				cfg.WALRoot = dir
+			}
+			s, err := serve.NewServer(cfg)
+			if err != nil {
+				panic(err)
+			}
+			for _, tenant := range tenants {
+				if _, rerr := s.RegisterSpec(tenant, "travel", p10Travel); rerr != nil {
+					panic(rerr)
+				}
+				if _, rerr := s.RegisterSpec(tenant, "dense6", denseSrc); rerr != nil {
+					panic(rerr)
+				}
+			}
+
+			before := obs.Default.Snapshot()
+			start := time.Now()
+			interval := time.Second / time.Duration(rate)
+			var admitted, shed atomic.Int64
+			var wg sync.WaitGroup
+			next := start
+			for i := 0; i < n; i++ {
+				tenant := tenants[i%len(tenants)]
+				name := "travel"
+				if i%2 == 1 {
+					name = "dense6"
+				}
+				wg.Add(1)
+				go func(tenant, name string, seed int64) {
+					defer wg.Done()
+					if _, rerr := s.Launch(tenant, name, serve.ModeScripted, seed); rerr != nil {
+						shed.Add(1)
+					} else {
+						admitted.Add(1)
+					}
+				}(tenant, name, int64(i))
+				next = next.Add(interval)
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			wg.Wait()
+			deadline := time.Now().Add(60 * time.Second)
+			for s.Stats().Active > 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			s.Drain()
+			wall := time.Since(start)
+			diff := obs.Default.Snapshot().Diff(before)
+
+			inst, _ := diff.Get("serve.instance_us")
+			admitW, _ := diff.Get("serve.admit_wait_us")
+			width := "-"
+			if mode.wal {
+				recs, _ := diff.Get("wal.records")
+				syncs, _ := diff.Get("wal.syncs")
+				if syncs.Value > 0 {
+					width = fmt.Sprintf("%.1f", float64(recs.Value)/float64(syncs.Value))
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", rate),
+				mode.label,
+				fmt.Sprintf("%d", admitted.Load()),
+				fmt.Sprintf("%d", shed.Load()),
+				fmt.Sprintf("%.0f", float64(wall.Milliseconds())),
+				fmt.Sprintf("%.2f", inst.Quantile(0.50)/1000),
+				fmt.Sprintf("%.2f", inst.Quantile(0.99)/1000),
+				fmt.Sprintf("%.2f", admitW.Quantile(0.99)/1000),
+				fmt.Sprintf("%.0f", float64(admitted.Load())/wall.Seconds()),
+				width,
+			})
+		}
+	}
+	return t
+}

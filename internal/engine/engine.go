@@ -102,6 +102,10 @@ type Options struct {
 	WALRoot string
 	// WALNoSync skips per-batch fsync in WAL mode.
 	WALNoSync bool
+	// WALCommitInterval widens the mesh's shared group-commit window
+	// (all node logs coalesce into one committer's fsync rounds); zero
+	// commits as soon as the shared loop is free.
+	WALCommitInterval time.Duration
 	// CheckpointEvery enables periodic watermark checkpoints per node
 	// in WAL mode.
 	CheckpointEvery time.Duration
@@ -352,6 +356,7 @@ func newNetEngine(plan *arun.Plan, opt Options) (*netEngine, error) {
 		Fault:           opt.Fault,
 		WALRoot:         opt.WALRoot,
 		NoSync:          opt.WALNoSync,
+		CommitInterval:  opt.WALCommitInterval,
 		CheckpointEvery: opt.CheckpointEvery,
 	})
 	if err != nil {

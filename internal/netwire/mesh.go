@@ -17,11 +17,12 @@ import (
 // exercises the full transport without forking processes; cmd/wfnet
 // runs the same Node code with the sites spread across OS processes.
 type Mesh struct {
-	driver  simnet.SiteID
-	nodes   map[simnet.SiteID]*Node
-	order   []simnet.SiteID
-	peers   map[simnet.SiteID]string
-	started bool
+	driver    simnet.SiteID
+	nodes     map[simnet.SiteID]*Node
+	order     []simnet.SiteID
+	peers     map[simnet.SiteID]string
+	started   bool
+	committer *wal.Committer
 }
 
 // MeshOptions configure durability and lifecycle beyond the plain
@@ -36,6 +37,12 @@ type MeshOptions struct {
 	// NoSync / Batch are passed to each node's wal.Options.
 	NoSync bool
 	Batch  time.Duration
+	// CommitInterval widens the mesh's shared group-commit window: all
+	// node logs register with one wal.Committer, so the processed⇒durable
+	// and acked⇒durable gates across every site ride coalesced fsync
+	// rounds instead of per-log flush loops.  Zero still shares the
+	// committer (rounds fire as soon as the loop is free).
+	CommitInterval time.Duration
 	// CheckpointEvery enables periodic watermark checkpoints per node.
 	CheckpointEvery time.Duration
 	// DeferStart leaves the nodes bound but not started, so the caller
@@ -63,13 +70,23 @@ func NewMeshOpts(driver simnet.SiteID, sites []simnet.SiteID, opts MeshOptions) 
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 
 	m := &Mesh{driver: driver, nodes: make(map[simnet.SiteID]*Node, len(all)), order: all}
+	if opts.WALRoot != "" {
+		// One fsync scheduler for the whole mesh: N sites appending in
+		// the same window cost one round of overlapped fsyncs, not N
+		// independent flush loops.
+		interval := opts.CommitInterval
+		if interval <= 0 {
+			interval = opts.Batch
+		}
+		m.committer = wal.NewCommitter(wal.CommitterOptions{Interval: interval})
+	}
 	peers := make(map[simnet.SiteID]string, len(all))
 	for i, site := range all {
 		var w *wal.Log
 		if opts.WALRoot != "" {
 			var err error
 			w, err = wal.Open(filepath.Join(opts.WALRoot, string(site)), wal.Options{
-				NoSync: opts.NoSync, Batch: opts.Batch,
+				NoSync: opts.NoSync, Batch: opts.Batch, Committer: m.committer,
 			})
 			if err != nil {
 				m.Close()
@@ -228,9 +245,13 @@ func (m *Mesh) WALSyncs() int64 {
 // on the nodes through this.
 func (m *Mesh) Node(site simnet.SiteID) *Node { return m.nodes[site] }
 
-// Close shuts down every node.
+// Close shuts down every node, then the shared committer (node Close
+// seals each log, so the committer finds nothing left to flush).
 func (m *Mesh) Close() {
 	for _, n := range m.nodes {
 		n.Close()
+	}
+	if m.committer != nil {
+		m.committer.Close()
 	}
 }

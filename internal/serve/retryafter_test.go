@@ -1,0 +1,29 @@
+package serve
+
+import "testing"
+
+// TestRetryAfterSecs pins the 429 backoff computation: actual fsync
+// lag over the recent commit rate, clamped to [1, 30] seconds, with a
+// 1s floor while the rate is still unknown.
+func TestRetryAfterSecs(t *testing.T) {
+	cases := []struct {
+		name string
+		lag  int64
+		rate float64
+		want int
+	}{
+		{"no lag", 0, 1000, 1},
+		{"negative lag", -5, 1000, 1},
+		{"unknown rate", 5000, 0, 1},
+		{"sub-second backlog rounds up", 100, 1000, 1},
+		{"exact seconds", 3000, 1000, 3},
+		{"rounds up", 3001, 1000, 4},
+		{"clamped high", 1_000_000, 10, 30},
+		{"tiny rate", 10, 0.5, 20},
+	}
+	for _, c := range cases {
+		if got := retryAfterSecs(c.lag, c.rate); got != c.want {
+			t.Errorf("%s: retryAfterSecs(%d, %g) = %d, want %d", c.name, c.lag, c.rate, got, c.want)
+		}
+	}
+}

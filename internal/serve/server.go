@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -38,6 +39,16 @@ type Config struct {
 	// (appended minus durable LSN) exceeds this many records (default
 	// 4096; 0 keeps the default, negative disables the check).
 	FsyncLagMax int64
+	// WALCommitInterval widens group-commit batches: each shard's
+	// shared committer waits this long after the first pending append
+	// before fsyncing the round, trading admission latency for fewer,
+	// wider fsyncs.  Zero commits as soon as the committer is free.
+	WALCommitInterval time.Duration
+	// WALInlineSync reverts durability to the blocking pre-pipeline
+	// path: every journal append waits for its own log's fsync inside
+	// the handler and per-tenant logs flush independently (no shared
+	// committer).  The P16 ablation; leave false in production.
+	WALInlineSync bool
 	// RegistryCap bounds cached compiled plans (DefaultRegistryCap).
 	RegistryCap int
 	// IdleTimeout bounds each instance's transport waits (default 15s).
@@ -78,6 +89,10 @@ type Instance struct {
 	done      bool
 	verdict   *Verdict
 	recovered bool
+	// doneLog/doneLSN locate the KDone record so acknowledgement paths
+	// (CloseInstance) can park on its durability.
+	doneLog *tenantLog
+	doneLSN uint64
 }
 
 type shard struct {
@@ -104,6 +119,11 @@ type Server struct {
 	ring *netwire.Ring
 
 	shards []*shard
+	// committers: log name ("registry", "shard-N") → the shared fsync
+	// scheduler every tenant's log of that name registers with, so one
+	// commit round covers all tenants on a shard.  Empty without a WAL
+	// or under WALInlineSync.
+	committers map[string]*wal.Committer
 
 	mu        sync.Mutex
 	instances map[uint64]*Instance
@@ -143,12 +163,19 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	s := &Server{
-		cfg:       cfg,
-		reg:       NewRegistry(cfg.RegistryCap),
-		ring:      netwire.NewRing(0),
-		instances: map[uint64]*Instance{},
-		logs:      map[string]*tenantLog{},
-		verdicts:  newVerdictStream(4096),
+		cfg:        cfg,
+		reg:        NewRegistry(cfg.RegistryCap),
+		ring:       netwire.NewRing(0),
+		committers: map[string]*wal.Committer{},
+		instances:  map[uint64]*Instance{},
+		logs:       map[string]*tenantLog{},
+		verdicts:   newVerdictStream(4096),
+	}
+	if cfg.WALRoot != "" && !cfg.WALInlineSync {
+		s.committers["registry"] = wal.NewCommitter(wal.CommitterOptions{Interval: cfg.WALCommitInterval})
+		for i := 0; i < cfg.Shards; i++ {
+			s.committers["shard-"+strconv.Itoa(i)] = wal.NewCommitter(wal.CommitterOptions{Interval: cfg.WALCommitInterval})
+		}
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
@@ -167,6 +194,9 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.WALRoot != "" {
 		if err := s.recover(); err != nil {
+			for _, c := range s.committers {
+				c.Close()
+			}
 			return nil, err
 		}
 	}
@@ -188,7 +218,10 @@ func (s *Server) log(tenant, name string) (*tenantLog, error) {
 	if tl := s.logs[key]; tl != nil {
 		return tl, nil
 	}
-	l, err := wal.Open(wal.TenantDir(s.cfg.WALRoot, tenant, name), wal.Options{NoSync: s.cfg.WALNoSync})
+	l, err := wal.Open(wal.TenantDir(s.cfg.WALRoot, tenant, name), wal.Options{
+		NoSync:    s.cfg.WALNoSync,
+		Committer: s.committers[name],
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -197,9 +230,11 @@ func (s *Server) log(tenant, name string) (*tenantLog, error) {
 	return tl, nil
 }
 
-// append journals one record durably (WaitDurable) and tracks the
-// log's append high-water mark.
-func (tl *tenantLog) append(r wal.Record) {
+// appendAsync journals one record without waiting for durability,
+// tracking the log's append high-water mark.  The caller parks on the
+// returned LSN (WaitDurable or Notify) before acknowledging anything
+// that depends on the record surviving a crash.
+func (tl *tenantLog) appendAsync(r wal.Record) uint64 {
 	lsn := tl.log.Append(r)
 	for {
 		old := tl.lastLSN.Load()
@@ -207,12 +242,40 @@ func (tl *tenantLog) append(r wal.Record) {
 			break
 		}
 	}
-	tl.log.WaitDurable(lsn)
+	return lsn
+}
+
+// append journals one record durably (WaitDurable): the blocking form
+// used for rare control-plane records and the WALInlineSync ablation.
+func (tl *tenantLog) append(r wal.Record) {
+	tl.log.WaitDurable(tl.appendAsync(r))
 }
 
 // lag is the unsynced tail length.
 func (tl *tenantLog) lag() int64 {
 	return int64(tl.lastLSN.Load()) - int64(tl.log.Durable())
+}
+
+// retryAfter sizes a 429 Retry-After from the log's actual fsync lag:
+// records behind divided by the recent commit rate.
+func (tl *tenantLog) retryAfter() int {
+	return retryAfterSecs(tl.lag(), tl.log.CommitRate())
+}
+
+// retryAfterSecs is the pure computation: ceil(lag/rate) clamped to
+// [1, 30] seconds, with 1s when the rate is still unknown.
+func retryAfterSecs(lag int64, rate float64) int {
+	if lag <= 0 || rate <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(lag) / rate))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 30 {
+		return 30
+	}
+	return secs
 }
 
 // RegisterSpec registers (and journals) a spec for a tenant.
@@ -287,14 +350,19 @@ func (s *Server) Launch(tenant, name, mode string, seed int64) (*Instance, *Erro
 		mShed.Inc()
 		mShedWAL.Inc()
 		entry.Stats.Shed.Add(1)
-		return nil, &Error{Status: 429, Msg: "wal fsync lag", RetryAfter: 1}
+		return nil, &Error{Status: 429, Msg: "wal fsync lag", RetryAfter: tl.retryAfter()}
 	}
 
 	admitStart := time.Now()
+	var admitLSN uint64
 	if tl != nil {
-		tl.append(wal.Record{Kind: wal.KAdmit, Seq: id, Site: tenant, Sym: name, Note: mode, At: seed})
+		rec := wal.Record{Kind: wal.KAdmit, Seq: id, Site: tenant, Sym: name, Note: mode, At: seed}
+		if s.cfg.WALInlineSync {
+			tl.append(rec)
+		} else {
+			admitLSN = tl.appendAsync(rec)
+		}
 	}
-	mAdmitWaitUS.Observe(time.Since(admitStart).Microseconds())
 
 	inst := &Instance{ID: id, Tenant: tenant, Spec: name, Mode: mode, Seed: seed, shard: sh, srv: s}
 	s.mu.Lock()
@@ -307,7 +375,8 @@ func (s *Server) Launch(tenant, name, mode string, seed int64) (*Instance, *Erro
 	if !s.enqueue(sh, func() { inst.start(entry) }) {
 		// Raced a drain or a full mailbox after the watermark check:
 		// roll the admission back, closing the journaled admit so a
-		// restart does not resurrect the shed instance.
+		// restart does not resurrect the shed instance.  The KDone
+		// wait transitively covers the KAdmit (same log, lower LSN).
 		if tl != nil {
 			tl.append(wal.Record{Kind: wal.KDone, Seq: id, Note: "shed"})
 		}
@@ -319,6 +388,14 @@ func (s *Server) Launch(tenant, name, mode string, seed int64) (*Instance, *Erro
 		entry.Stats.Shed.Add(1)
 		return nil, &Error{Status: 429, Msg: "shard mailbox full", RetryAfter: 1}
 	}
+	// Reply after durable: the instance is already executing on its
+	// shard worker while this goroutine parks on the group commit
+	// covering its KAdmit — concurrent launches across all tenants on
+	// the shard share that one fsync round.
+	if tl != nil && !s.cfg.WALInlineSync {
+		tl.log.WaitDurable(admitLSN)
+	}
+	mAdmitWaitUS.Observe(time.Since(admitStart).Microseconds())
 	return inst, nil
 }
 
@@ -377,7 +454,12 @@ func (inst *Instance) start(entry *PlanEntry) {
 	}
 }
 
-// finalize completes an instance: journal, verdict, stats, release.
+// finalize completes an instance: journal the KDone, record the
+// verdict, and publish it once the record is durable.  The shard
+// worker never blocks on an fsync here — the externally visible
+// acknowledgement (the verdict stream entry and the completion
+// stats) rides the durability notification instead, so completions
+// across all tenants share the committer's next round.
 func (inst *Instance) finalize(entry *PlanEntry, out *arun.Outcome) {
 	inst.mu.Lock()
 	if inst.done {
@@ -391,14 +473,21 @@ func (inst *Instance) finalize(entry *PlanEntry, out *arun.Outcome) {
 	recovered := inst.recovered
 	inst.release = nil
 	inst.transport = nil
+	// Drop the runner: every reader checks done first, and keeping it
+	// would pin the whole actor graph of every completed instance in
+	// the instance table for the GC to scan.
+	inst.runner = nil
 	inst.mu.Unlock()
 
 	fp, satisfied := "error", false
 	if out != nil {
 		fp, satisfied = out.Fingerprint(), out.Satisfied
 	}
+	var doneLog *tenantLog
+	var doneLSN uint64
 	if tl, err := inst.srv.log(inst.Tenant, inst.shard.name); err == nil && tl != nil {
-		tl.append(wal.Record{Kind: wal.KDone, Seq: inst.ID, Note: fp})
+		doneLog = tl
+		doneLSN = tl.appendAsync(wal.Record{Kind: wal.KDone, Seq: inst.ID, Note: fp})
 	}
 	v := &Verdict{
 		ID: inst.ID, Tenant: inst.Tenant, Spec: inst.Spec, Mode: inst.Mode,
@@ -406,20 +495,33 @@ func (inst *Instance) finalize(entry *PlanEntry, out *arun.Outcome) {
 	}
 	inst.mu.Lock()
 	inst.verdict = v
+	inst.doneLog, inst.doneLSN = doneLog, doneLSN
 	inst.mu.Unlock()
-	inst.srv.verdicts.push(v)
-	mCompleted.Inc()
 	mActive.Add(-1)
-	if entry != nil {
-		entry.Stats.Completed.Add(1)
-		if satisfied {
-			entry.Stats.Satisfied.Add(1)
-		} else {
-			entry.Stats.Unsatisfied.Add(1)
+
+	publish := func() {
+		inst.srv.verdicts.push(v)
+		mCompleted.Inc()
+		if entry != nil {
+			entry.Stats.Completed.Add(1)
+			if satisfied {
+				entry.Stats.Satisfied.Add(1)
+			} else {
+				entry.Stats.Unsatisfied.Add(1)
+			}
+		}
+		if !started.IsZero() {
+			mInstanceUS.Observe(time.Since(started).Microseconds())
 		}
 	}
-	if !started.IsZero() {
-		mInstanceUS.Observe(time.Since(started).Microseconds())
+	switch {
+	case doneLog == nil:
+		publish()
+	case inst.srv.cfg.WALInlineSync:
+		doneLog.log.WaitDurable(doneLSN)
+		publish()
+	default:
+		doneLog.log.Notify(doneLSN, publish)
 	}
 	if release != nil {
 		release()
@@ -469,6 +571,8 @@ func (s *Server) Announce(id uint64, event string, forced bool) (AnnounceResult,
 	type reply struct {
 		res  AnnounceResult
 		rerr *Error
+		tl   *tenantLog
+		lsn  uint64
 	}
 	ch := make(chan reply, 1)
 	if !s.enqueue(inst.shard, func() {
@@ -483,24 +587,37 @@ func (s *Server) Announce(id uint64, event string, forced bool) (AnnounceResult,
 		if forced {
 			note = "forced"
 		}
+		var evLog *tenantLog
+		var evLSN uint64
 		if tl, err := s.log(inst.Tenant, inst.shard.name); err == nil && tl != nil {
-			tl.append(wal.Record{Kind: wal.KEvent, Seq: id, Sym: event, Note: note})
+			rec := wal.Record{Kind: wal.KEvent, Seq: id, Sym: event, Note: note}
+			if s.cfg.WALInlineSync {
+				tl.append(rec)
+			} else {
+				evLog, evLSN = tl, tl.appendAsync(rec)
+			}
 		}
 		decided, accepted, err := r.Attempt(sym, forced)
 		if err != nil {
-			ch <- reply{rerr: errf(422, "attempt %s: %v", event, err)}
+			ch <- reply{rerr: errf(422, "attempt %s: %v", event, err), tl: evLog, lsn: evLSN}
 			return
 		}
 		mAnnounces.Inc()
 		if entry, rerr := s.reg.Lookup(inst.Tenant, inst.Spec); rerr == nil {
 			entry.Stats.Announces.Add(1)
 		}
-		ch <- reply{res: AnnounceResult{Decided: decided, Accepted: accepted}}
+		ch <- reply{res: AnnounceResult{Decided: decided, Accepted: accepted}, tl: evLog, lsn: evLSN}
 	}) {
 		mShed.Inc()
 		return AnnounceResult{}, &Error{Status: 429, Msg: "shard mailbox full", RetryAfter: 1}
 	}
 	rep := <-ch
+	// Reply after durable: the attempt already ran on the shard
+	// worker; only this caller parks until the KEvent's group commit
+	// lands, so the shard keeps absorbing other tenants' work.
+	if rep.tl != nil {
+		rep.tl.log.WaitDurable(rep.lsn)
+	}
 	return rep.res, rep.rerr
 }
 
@@ -560,6 +677,17 @@ func (s *Server) CloseInstance(id uint64) (*Verdict, *Error) {
 		return nil, &Error{Status: 429, Msg: "shard mailbox full", RetryAfter: 1}
 	}
 	rep := <-ch
+	// The verdict is an acknowledgement: park until its KDone is
+	// durable so a crash after this reply cannot resurrect the
+	// instance as incomplete.
+	if rep.v != nil {
+		inst.mu.Lock()
+		doneLog, doneLSN := inst.doneLog, inst.doneLSN
+		inst.mu.Unlock()
+		if doneLog != nil {
+			doneLog.log.WaitDurable(doneLSN)
+		}
+	}
 	return rep.v, rep.rerr
 }
 
@@ -630,6 +758,10 @@ func (s *Server) drain() {
 	for _, tl := range logs {
 		tl.log.Sync()
 		tl.log.Close()
+	}
+	// Logs are sealed; stop the shared commit loops.
+	for _, c := range s.committers {
+		c.Close()
 	}
 }
 

@@ -1,0 +1,253 @@
+package wal
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Committer is a shared fsync scheduler: every log opened with
+// Options{Committer: c} registers here instead of running its own
+// flush loop, and the committer drains them in coalesced rounds.  One
+// round claims every dirty log's pending buffer, writes them all
+// (page-cache speed), overlaps their fsyncs on a bounded worker pool,
+// and then releases every parked waiter and durability notification
+// across every log at once.  N busy logs therefore cost one round of
+// overlapped fsyncs per interval instead of N independent fsync
+// loops, which is what lets many per-tenant logs on one serve shard
+// amortize a single commit window.
+//
+// Lifecycle: close the logs first, then the committer.  Closing the
+// committer early is safe — still-registered logs detach and fall
+// back to their own flusher goroutines — but forfeits coalescing.
+type Committer struct {
+	interval time.Duration
+	parallel int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	logs   map[*Log]bool // registered → currently in the dirty queue
+	dirty  []*Log
+	spare  []*Log // recycled dirty-queue backing array
+	closed bool
+	done   chan struct{}
+
+	rounds atomic.Int64
+}
+
+// CommitterOptions configure a Committer.
+type CommitterOptions struct {
+	// Interval, when positive, is how long a round waits after the
+	// first pending append before committing, widening the group.
+	// Zero commits as soon as the loop is free — fsync latency itself
+	// batches concurrent appenders.
+	Interval time.Duration
+	// Parallel bounds concurrent fsyncs per round (default 8).
+	Parallel int
+}
+
+// NewCommitter starts a shared commit loop.
+func NewCommitter(opts CommitterOptions) *Committer {
+	c := &Committer{
+		interval: opts.Interval,
+		parallel: opts.Parallel,
+		logs:     map[*Log]bool{},
+		done:     make(chan struct{}),
+	}
+	if c.parallel <= 0 {
+		c.parallel = 8
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.loop()
+	return c
+}
+
+// Rounds counts completed commit rounds (a round may fsync several
+// logs; per-log fsync counts stay on Log.Syncs).
+func (c *Committer) Rounds() int64 { return c.rounds.Load() }
+
+// register adds a log; false means the committer is already closed
+// and the log should flush itself.
+func (c *Committer) register(l *Log) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	c.logs[l] = false
+	return true
+}
+
+// unregister removes a closed log.
+func (c *Committer) unregister(l *Log) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.logs, l)
+	for i, d := range c.dirty {
+		if d == l {
+			c.dirty = append(c.dirty[:i], c.dirty[i+1:]...)
+			break
+		}
+	}
+}
+
+// nudge marks a log dirty and wakes the loop.  Idempotent per round.
+func (c *Committer) nudge(l *Log) {
+	c.mu.Lock()
+	if inDirty, registered := c.logs[l]; registered && !inDirty && !c.closed {
+		c.logs[l] = true
+		c.dirty = append(c.dirty, l)
+		c.cond.Signal()
+	}
+	c.mu.Unlock()
+}
+
+// Close stops the loop after a final round.  Logs still registered
+// (close order violated) detach and regain their own flushers, so no
+// pending append is ever stranded.
+func (c *Committer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	var leftover []*Log
+	for l := range c.logs {
+		leftover = append(leftover, l)
+	}
+	c.logs = map[*Log]bool{}
+	c.dirty = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, l := range leftover {
+		l.mu.Lock()
+		l.committer = nil
+		stillOpen := !l.closed
+		l.mu.Unlock()
+		if stillOpen {
+			go l.flusher()
+		}
+	}
+	<-c.done
+}
+
+// loop is the round scheduler: wait for dirt, optionally widen the
+// batch, then commit the claimed set.
+func (c *Committer) loop() {
+	defer close(c.done)
+	for {
+		c.mu.Lock()
+		for len(c.dirty) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if c.closed && len(c.dirty) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		if c.interval > 0 && !c.closed {
+			c.mu.Unlock()
+			time.Sleep(c.interval)
+			c.mu.Lock()
+		}
+		batch := c.dirty
+		if c.spare != nil {
+			c.dirty = c.spare[:0]
+			c.spare = nil
+		} else {
+			c.dirty = nil
+		}
+		for _, l := range batch {
+			if _, ok := c.logs[l]; ok {
+				c.logs[l] = false
+			}
+		}
+		c.mu.Unlock()
+		c.commit(batch)
+		c.mu.Lock()
+		if c.spare == nil {
+			c.spare = batch[:0]
+		}
+		c.mu.Unlock()
+	}
+}
+
+// commit runs one round over the claimed logs: claim + write each
+// log's pending bytes in claim order, overlap the fsyncs, then
+// advance every durable LSN and fire the released notifications.
+func (c *Committer) commit(batch []*Log) {
+	type pend struct {
+		l      *Log
+		f      *os.File
+		data   []byte
+		lsn    uint64
+		synced bool
+	}
+	start := time.Now()
+	pends := make([]pend, 0, len(batch))
+	for _, l := range batch {
+		f, data, lsn, ok := l.takePending()
+		if !ok {
+			// Raced a detach handoff mid-flush: if bytes are still
+			// pending, queue the log for the next round.
+			if l.hasPending() {
+				c.nudge(l)
+			}
+			continue
+		}
+		wrote := false
+		if _, err := f.Write(data); err == nil {
+			wrote = true
+		}
+		pends = append(pends, pend{l: l, f: f, data: data, lsn: lsn, synced: wrote && !l.opts.NoSync})
+	}
+	// Overlap the fsyncs: one goroutine per log up to the parallel
+	// bound.  On one spindle the kernel merges the flushes; on real
+	// arrays they genuinely proceed in parallel.  Either way every
+	// waiter parked on any of these logs shares this one commit
+	// window.  A round with a single flush syncs inline — no goroutine,
+	// no semaphore.
+	nsync := 0
+	for i := range pends {
+		if pends[i].synced {
+			nsync++
+		}
+	}
+	if nsync == 1 {
+		for i := range pends {
+			if pends[i].synced && pends[i].f.Sync() != nil {
+				pends[i].synced = false
+			}
+		}
+	} else if nsync > 1 {
+		sem := make(chan struct{}, c.parallel)
+		var wg sync.WaitGroup
+		for i := range pends {
+			if !pends[i].synced {
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(p *pend) {
+				defer wg.Done()
+				if p.f.Sync() != nil {
+					p.synced = false
+				}
+				<-sem
+			}(&pends[i])
+		}
+		wg.Wait()
+	}
+	dt := time.Since(start)
+	for i := range pends {
+		p := &pends[i]
+		p.l.observeRate(int64(p.lsn-p.l.durable.Load()), dt)
+		p.l.finishCommit(p.data, p.lsn, p.synced)
+	}
+	if len(pends) > 0 {
+		c.rounds.Add(1)
+		mRounds.Inc()
+		mRoundLogs.Observe(int64(len(pends)))
+	}
+}

@@ -1,0 +1,24 @@
+package wal
+
+import "repro/internal/obs"
+
+// Durability-pipeline metrics.  wal.records / wal.syncs is the
+// achieved group-commit width (also broken out per fsync by the
+// wal.commit_width histogram); wal.pending_records is the live
+// appended-but-not-durable backlog across every open log (the fsync
+// lag admission control sheds on); wal.park_us is how long durability
+// waiters actually parked.  /debug/metrics and wftrace surface all of
+// them via the default registry.
+var (
+	mRecords = obs.C("wal.records")
+	mSyncs   = obs.C("wal.syncs")
+	mRounds  = obs.C("wal.commit_rounds")
+	mPending = obs.G("wal.pending_records")
+	mWidth   = obs.H("wal.commit_width",
+		1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+	mRoundLogs = obs.H("wal.commit_round_logs",
+		1, 2, 4, 8, 16, 32, 64)
+	mParkUS = obs.H("wal.park_us",
+		10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000,
+		25_000, 50_000, 100_000, 250_000, 1_000_000)
+)

@@ -1,0 +1,7 @@
+//go:build race
+
+package wal
+
+// raceEnabled reports whether the race detector instruments this
+// build (allocation counts are not meaningful under it).
+const raceEnabled = true

@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -113,8 +114,15 @@ type Options struct {
 	// Batch, when positive, is an extra delay the flusher waits after
 	// the first pending append before flushing, to widen group-commit
 	// batches.  Zero flushes as soon as the flusher is free — fsync
-	// latency itself batches concurrent appenders.
+	// latency itself batches concurrent appenders.  Ignored when
+	// Committer is set (the committer's Interval plays this role).
 	Batch time.Duration
+	// Committer, when set, registers the log with a shared fsync
+	// scheduler instead of spawning a dedicated flusher goroutine:
+	// all logs on one committer flush in coalesced rounds, so N busy
+	// logs cost one round of overlapped fsyncs rather than N
+	// independent flush loops.  Close the logs before the committer.
+	Committer *Committer
 }
 
 // maxRecord bounds one record body; larger frames are corruption.
@@ -167,19 +175,73 @@ type Log struct {
 	dir  string
 	opts Options
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	f       *os.File
-	gen     uint64
-	buf     []byte // pending encoded records
-	lastLSN uint64 // last assigned
-	closed  bool
+	mu         sync.Mutex
+	cond       *sync.Cond
+	f          *os.File
+	gen        uint64
+	buf        []byte // pending encoded records
+	spare      []byte // recycled flush buffer (capacity reuse)
+	scratch    []byte // record-body encode buffer, reused per append
+	lastLSN    uint64 // last assigned
+	committing bool   // a flush of this log is in flight
+	closed     bool
+	committer  *Committer // shared scheduler, nil when self-flushed
+	notif      notifyHeap // durability callbacks parked by LSN
 
 	durable   atomic.Uint64
 	onDurable atomic.Value // func()
 	syncs     atomic.Int64
+	rate      atomic.Uint64 // float64 bits: EWMA committed records/sec
 
 	rec *Recovery
+}
+
+// notifyEntry parks one callback until the durable LSN reaches lsn.
+type notifyEntry struct {
+	lsn uint64
+	fn  func()
+}
+
+// notifyHeap is a min-heap on lsn (hand-rolled: the hot path pushes
+// mostly in LSN order, so sift-up is O(1) amortized).
+type notifyHeap []notifyEntry
+
+func (h *notifyHeap) push(e notifyEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].lsn <= (*h)[i].lsn {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *notifyHeap) pop() notifyEntry {
+	top := (*h)[0]
+	n := len(*h) - 1
+	(*h)[0] = (*h)[n]
+	(*h)[n] = notifyEntry{}
+	*h = (*h)[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && (*h)[l].lsn < (*h)[s].lsn {
+			s = l
+		}
+		if r < n && (*h)[r].lsn < (*h)[s].lsn {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		(*h)[i], (*h)[s] = (*h)[s], (*h)[i]
+		i = s
+	}
+	return top
 }
 
 // Open opens (creating if needed) the log in dir, scanning any
@@ -238,7 +300,11 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	l.f = f
-	go l.flusher()
+	if c := opts.Committer; c != nil && c.register(l) {
+		l.committer = c
+	} else {
+		go l.flusher()
+	}
 	return l, nil
 }
 
@@ -299,14 +365,32 @@ func (l *Log) Recovery() *Recovery { return l.rec }
 
 // Append encodes one record, assigns its LSN, and schedules the
 // flush.  It never blocks on I/O; callers that need durability call
-// WaitDurable with the returned LSN.
+// WaitDurable with the returned LSN or park a Notify callback on it.
+// The encode path reuses the log's scratch and flush buffers, so a
+// steady-state append allocates nothing (gated by
+// TestWALAppendZeroAlloc in make benchsmoke).
 func (l *Log) Append(r Record) uint64 {
 	l.mu.Lock()
-	l.buf = appendRecord(l.buf, r)
+	if l.buf == nil && l.spare != nil {
+		l.buf, l.spare = l.spare, nil
+	}
+	l.scratch = encodeBody(l.scratch[:0], r)
+	l.buf = appendFramed(l.buf, l.scratch)
 	l.lastLSN++
 	lsn := l.lastLSN
-	l.cond.Broadcast()
+	c := l.committer
+	if c == nil {
+		// Wake the per-log flusher.  A committer-owned log skips the
+		// broadcast: nothing waits on appends (durability waiters wake
+		// from finishCommit), and the nudge below schedules the round.
+		l.cond.Broadcast()
+	}
 	l.mu.Unlock()
+	mRecords.Inc()
+	mPending.Add(1)
+	if c != nil {
+		c.nudge(l)
+	}
 	return lsn
 }
 
@@ -317,16 +401,40 @@ func (l *Log) Durable() uint64 { return l.durable.Load() }
 // in one number (records appended / Syncs() = average batch size).
 func (l *Log) Syncs() int64 { return l.syncs.Load() }
 
+// CommitRate is a decaying estimate of this log's recent commit
+// throughput in records/sec (0 until the first commit).  Admission
+// control divides fsync lag by it to size Retry-After honestly.
+func (l *Log) CommitRate() float64 {
+	return math.Float64frombits(l.rate.Load())
+}
+
 // WaitDurable blocks until the given LSN is durable (or the log is
 // closed, which flushes everything first).
 func (l *Log) WaitDurable(lsn uint64) {
 	if l.durable.Load() >= lsn {
 		return
 	}
+	start := time.Now()
 	l.mu.Lock()
 	for l.durable.Load() < lsn && !l.closed {
 		l.cond.Wait()
 	}
+	l.mu.Unlock()
+	mParkUS.Observe(time.Since(start).Microseconds())
+}
+
+// Notify parks fn until the durable LSN reaches lsn, then runs it on
+// the commit goroutine (keep it short).  An already-durable LSN runs
+// fn inline before Notify returns.  Close fires every still-parked
+// callback after the final flush, so no callback is ever dropped.
+func (l *Log) Notify(lsn uint64, fn func()) {
+	l.mu.Lock()
+	if l.durable.Load() >= lsn || l.closed {
+		l.mu.Unlock()
+		fn()
+		return
+	}
+	l.notif.push(notifyEntry{lsn: lsn, fn: fn})
 	l.mu.Unlock()
 }
 
@@ -338,21 +446,22 @@ func (l *Log) Sync() {
 	l.WaitDurable(lsn)
 }
 
-// OnDurable registers a callback invoked (from the flusher goroutine)
+// OnDurable registers a callback invoked (from the commit goroutine)
 // whenever the durable LSN advances.
 func (l *Log) OnDurable(fn func()) { l.onDurable.Store(fn) }
 
-// flusher is the group-commit loop: it swaps out whatever appends
-// accumulated, writes and fsyncs them as one batch, and advances the
-// durable LSN.  Appends arriving during an fsync pile into the next
-// batch, which is the whole batching story.
+// flusher is the per-log group-commit loop (used when no Committer is
+// attached): it swaps out whatever appends accumulated, writes and
+// fsyncs them as one batch, and advances the durable LSN.  Appends
+// arriving during an fsync pile into the next batch, which is the
+// whole batching story.
 func (l *Log) flusher() {
 	for {
 		l.mu.Lock()
-		for len(l.buf) == 0 && !l.closed {
+		for (len(l.buf) == 0 || l.committing) && !l.closed {
 			l.cond.Wait()
 		}
-		if l.closed && len(l.buf) == 0 {
+		if l.closed && (len(l.buf) == 0 || l.committing) {
 			l.mu.Unlock()
 			return
 		}
@@ -361,23 +470,109 @@ func (l *Log) flusher() {
 			time.Sleep(d)
 			l.mu.Lock()
 		}
-		buf := l.buf
-		l.buf = nil
-		lsn := l.lastLSN
-		f := l.f
 		l.mu.Unlock()
+		l.commitOnce()
+	}
+}
 
-		if _, err := f.Write(buf); err == nil && !l.opts.NoSync {
-			f.Sync()
-			l.syncs.Add(1)
+// takePending claims the pending buffer for one commit: it marks the
+// log committing (write order within one log must match append order,
+// so flushes never overlap) and hands back the file, the bytes, and
+// the LSN the flush will make durable.
+func (l *Log) takePending() (f *os.File, data []byte, lsn uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.committing || len(l.buf) == 0 {
+		return nil, nil, 0, false
+	}
+	l.committing = true
+	data = l.buf
+	l.buf = nil
+	return l.f, data, l.lastLSN, true
+}
+
+// hasPending reports un-flushed appended bytes.
+func (l *Log) hasPending() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf) > 0
+}
+
+// finishCommit advances the durable LSN after a write (and fsync,
+// when synced), recycles the flush buffer, wakes parked waiters, and
+// fires the durability notifications the advance released.
+func (l *Log) finishCommit(data []byte, lsn uint64, synced bool) {
+	prev := l.durable.Load()
+	var fns []func()
+	l.mu.Lock()
+	l.committing = false
+	if l.spare == nil || cap(data) > cap(l.spare) {
+		l.spare = data[:0]
+	}
+	for {
+		cur := l.durable.Load()
+		if lsn <= cur || l.durable.CompareAndSwap(cur, lsn) {
+			break
 		}
+	}
+	durable := l.durable.Load()
+	for len(l.notif) > 0 && l.notif[0].lsn <= durable {
+		fns = append(fns, l.notif.pop().fn)
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if synced {
+		l.syncs.Add(1)
+		mSyncs.Inc()
+	}
+	if lsn > prev {
+		mPending.Add(-int64(lsn - prev))
+		mWidth.Observe(int64(lsn - prev))
+	}
+	for _, fn := range fns {
+		fn()
+	}
+	if fn, ok := l.onDurable.Load().(func()); ok && fn != nil {
+		fn()
+	}
+}
 
-		l.mu.Lock()
-		l.durable.Store(lsn)
-		l.cond.Broadcast()
-		l.mu.Unlock()
-		if fn, ok := l.onDurable.Load().(func()); ok && fn != nil {
-			fn()
+// commitOnce runs one full write+fsync round for this log and updates
+// the commit-rate estimate.
+func (l *Log) commitOnce() {
+	f, data, lsn, ok := l.takePending()
+	if !ok {
+		return
+	}
+	start := time.Now()
+	synced := false
+	if _, err := f.Write(data); err == nil && !l.opts.NoSync {
+		f.Sync()
+		synced = true
+	}
+	l.observeRate(int64(lsn-l.durable.Load()), time.Since(start))
+	l.finishCommit(data, lsn, synced)
+}
+
+// observeRate folds one commit of n records over dt into the decaying
+// records/sec estimate.
+func (l *Log) observeRate(n int64, dt time.Duration) {
+	if n <= 0 {
+		return
+	}
+	if dt < time.Microsecond {
+		dt = time.Microsecond
+	}
+	inst := float64(n) / dt.Seconds()
+	for {
+		old := l.rate.Load()
+		prev := math.Float64frombits(old)
+		next := inst
+		if prev > 0 {
+			next = 0.7*prev + 0.3*inst
+		}
+		if l.rate.CompareAndSwap(old, math.Float64bits(next)) {
+			return
 		}
 	}
 }
@@ -392,6 +587,11 @@ func (l *Log) Snapshot(meta Meta, sites map[string][]byte) error {
 	l.Sync()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	for l.committing {
+		// A flush claimed the old generation's file; let it land before
+		// the rotation closes that file under it.
+		l.cond.Wait()
+	}
 	if l.closed {
 		return fmt.Errorf("wal: closed")
 	}
@@ -429,7 +629,8 @@ func (l *Log) Snapshot(meta Meta, sites map[string][]byte) error {
 	return nil
 }
 
-// Close flushes, fsyncs, and closes the log.
+// Close flushes, fsyncs, and closes the log, then detaches it from
+// its committer (if any) and fires every still-parked notification.
 func (l *Log) Close() {
 	l.mu.Lock()
 	if l.closed {
@@ -441,9 +642,21 @@ func (l *Log) Close() {
 	l.WaitDurable(lsn)
 	l.mu.Lock()
 	l.closed = true
+	var fns []func()
+	for len(l.notif) > 0 {
+		fns = append(fns, l.notif.pop().fn)
+	}
 	l.cond.Broadcast()
 	f := l.f
+	c := l.committer
+	l.committer = nil
 	l.mu.Unlock()
+	if c != nil {
+		c.unregister(l)
+	}
+	for _, fn := range fns {
+		fn()
+	}
 	if f != nil {
 		f.Close()
 	}
@@ -505,19 +718,28 @@ func writeFileSync(path string, data []byte) error {
 // [body], body = kind byte plus length-prefixed strings, varints, and
 // the payload.
 func appendRecord(dst []byte, r Record) []byte {
-	body := make([]byte, 0, 32+len(r.Payload))
-	body = append(body, r.Kind)
-	body = appendString(body, r.Site)
-	body = appendString(body, r.Site2)
-	body = appendString(body, r.Peer)
-	body = appendString(body, r.Sym)
-	body = appendString(body, r.Note)
-	body = binary.AppendUvarint(body, r.Seq)
-	body = binary.AppendVarint(body, r.Clock)
-	body = binary.AppendVarint(body, r.At)
-	body = binary.AppendUvarint(body, uint64(len(r.Payload)))
-	body = append(body, r.Payload...)
+	return appendFramed(dst, encodeBody(make([]byte, 0, 32+len(r.Payload)), r))
+}
 
+// encodeBody appends the record body (no frame) to dst.  The append
+// hot path reuses the log's scratch buffer here, so the steady state
+// allocates nothing.
+func encodeBody(dst []byte, r Record) []byte {
+	dst = append(dst, r.Kind)
+	dst = appendString(dst, r.Site)
+	dst = appendString(dst, r.Site2)
+	dst = appendString(dst, r.Peer)
+	dst = appendString(dst, r.Sym)
+	dst = appendString(dst, r.Note)
+	dst = binary.AppendUvarint(dst, r.Seq)
+	dst = binary.AppendVarint(dst, r.Clock)
+	dst = binary.AppendVarint(dst, r.At)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Payload)))
+	return append(dst, r.Payload...)
+}
+
+// appendFramed appends the length+CRC frame header and the body.
+func appendFramed(dst []byte, body []byte) []byte {
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
 	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))

@@ -3,6 +3,7 @@ package wal
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -309,6 +310,45 @@ func FuzzWALReplay(f *testing.F) {
 	huge := bytes.Clone(valid)
 	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0xff
 	f.Add(huge)
+	// Bytes actually written by the shared committer: two logs on one
+	// committer appending concurrently, so the seed covers records laid
+	// down in group-committed batches rather than one flush per append.
+	cdir := f.TempDir()
+	c := NewCommitter(CommitterOptions{Interval: time.Millisecond})
+	var cl [2]*Log
+	for i := range cl {
+		l, err := Open(filepath.Join(cdir, fmt.Sprint("l", i)), Options{Committer: c})
+		if err != nil {
+			f.Fatalf("Open with committer: %v", err)
+		}
+		cl[i] = l
+	}
+	var wg sync.WaitGroup
+	for i, l := range cl {
+		wg.Add(1)
+		go func(i int, l *Log) {
+			defer wg.Done()
+			var last uint64
+			for j := 0; j < 8; j++ {
+				last = l.Append(Record{Kind: KFire, Site: "b", Sym: "e", At: int64(i*100 + j)})
+				last = l.Append(Record{Kind: KIn, Site: "b", Peer: "a", Seq: uint64(j + 1), Clock: int64(j), Payload: []byte("m")})
+			}
+			l.WaitDurable(last)
+		}(i, l)
+	}
+	wg.Wait()
+	for _, l := range cl {
+		l.Close()
+	}
+	c.Close()
+	for i := range cl {
+		data, err := os.ReadFile(filepath.Join(cdir, fmt.Sprint("l", i), "wal-1.log"))
+		if err != nil {
+			f.Fatalf("read committer seed: %v", err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)-7])
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
