@@ -8,15 +8,16 @@
 #   make crashcheck  WAL kill/restart recovery suite, uncached
 #   make walcheck    WAL commit-pipeline suite under -race, incl. SIGKILL in the commit window
 #   make servecheck  wfserve daemon acceptance: 1000+ instances, shed, drain, WAL recovery
+#   make modelcheck  exhaustive conformance: bounded model checker + scheduler exploration + engine sweep
 #   make benchsmoke  compile-and-run every benchmark once
 #   make fuzzsmoke   brief run of every fuzz target
 #   make bench       the P* cost benchmarks (informational)
 
 GO ?= go
 
-.PHONY: ci build vet test race enginestress tracecheck crashcheck walcheck servecheck bench benchsmoke fuzzsmoke
+.PHONY: ci build vet test race enginestress tracecheck crashcheck walcheck servecheck modelcheck bench benchsmoke fuzzsmoke
 
-ci: build vet test race enginestress tracecheck crashcheck walcheck servecheck benchsmoke fuzzsmoke
+ci: build vet test race enginestress tracecheck crashcheck walcheck servecheck modelcheck benchsmoke fuzzsmoke
 
 build:
 	$(GO) build ./...
@@ -79,6 +80,22 @@ servecheck:
 	$(GO) test -race -count=1 -run 'TestServeCheck|TestShedBackpressure|TestExternalInstanceOverWire' ./internal/serve
 	$(GO) test -race -count=1 -run 'TestDaemonDrainAndRecover|TestDaemonCrashRecovery' ./cmd/wfserve
 
+# The conformance gate, always uncached: the bounded model checker
+# exhaustively enumerates every maximal trace of every spec in
+# testdata/ and examples/ (reference interpreter, tree guards, and
+# compiled bitset programs must admit identical sets, and planted
+# guard mutations must surface as minimal counterexamples), the
+# exploration mode drives the real distributed scheduler through its
+# announcement interleavings, the engine sweep keeps every sampled
+# outcome inside the admissible set, and the scale sweep records the
+# P17 states-vs-universe curve.  Each run carries a wall-clock
+# budget; oversized specs and truncated explorations are logged
+# explicitly (-v keeps those logs visible) — never skipped silently.
+# WFMC_FULL=1 additionally enables the 12-event full-depth scale run.
+modelcheck:
+	$(GO) test -count=1 -v -run 'TestModelCheckAll|TestMutatedGuardCaught|TestMinimalCounterexample|TestSkipOversizedExplicit|TestModelCheckScale|TestExplore' ./internal/mc
+	$(GO) test -count=1 -run 'TestEngineOutcomesWithinAdmissibleSet' ./internal/engine
+
 # Every benchmark must still compile and survive one iteration (keeps
 # the perf harness from rotting between measurement sessions), and the
 # zero-allocation contracts on the three hot paths — wire encoding,
@@ -97,6 +114,7 @@ fuzzsmoke:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=2s ./internal/spec
 	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=2s ./internal/wal
 	$(GO) test -run=NONE -fuzz=FuzzGuardProgram -fuzztime=2s ./internal/gprog
+	$(GO) test -run=NONE -fuzz=FuzzModelCheck -fuzztime=2s ./internal/mc
 	$(GO) test -run=NONE -fuzz=FuzzSpecUpload -fuzztime=2s ./internal/serve
 	$(GO) test -run=NONE -fuzz=FuzzLaunchBody -fuzztime=2s ./internal/serve
 	$(GO) test -run=NONE -fuzz=FuzzAnnounceBody -fuzztime=2s ./internal/serve

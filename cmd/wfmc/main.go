@@ -1,0 +1,168 @@
+// Command wfmc model-checks .wf workflow specifications: it
+// enumerates every maximal trace of the bounded universe and verifies
+// that the reference 𝒯-semantics interpreter, the tree-walking guard
+// evaluator, and the compiled bitset programs admit exactly the same
+// set (internal/mc).  On divergence it prints the minimal
+// counterexample trace and the wfrun invocation that re-drives it.
+//
+// With -explore each spec is additionally pushed through the
+// scheduler-exploration mode: a depth-first walk of the real
+// distributed scheduler's announcement interleavings, asserting every
+// reachable outcome is admissible.
+//
+// With no files, a builtin suite of generated workloads (the paper's
+// travel example, chain, diamond, and a mixed-dependency workload) is
+// checked instead.
+//
+// Usage:
+//
+//	wfmc [-max-events n] [-explore] [-runs n] [-budget d] [file.wf ...]
+//
+// Exit status is 1 when any check diverges, errors, or is skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mc"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+func main() {
+	maxEvents := flag.Int("max-events", 12, "universe ceiling; larger specs are reported as skipped")
+	explore := flag.Bool("explore", false, "also explore the distributed scheduler's interleavings per spec")
+	runs := flag.Int("runs", 4000, "exploration run cap (with -explore)")
+	budget := flag.Duration("budget", 60*time.Second, "wall-clock budget per spec")
+	flag.Parse()
+
+	ok, err := run(os.Stdout, flag.Args(), *maxEvents, *explore, *runs, *budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfmc:", err)
+		os.Exit(1)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// target is one named workflow to check, with the spec retained when
+// the exploration mode can drive it.
+type target struct {
+	name string
+	path string // replay path for counterexamples ("" for builtins)
+	wf   *core.Workflow
+	sp   *spec.Spec
+}
+
+// run checks every target and writes the state/runtime table to out.
+// The bool result is false when any check diverged or was skipped.
+func run(out io.Writer, paths []string, maxEvents int, explore bool, runs int, budget time.Duration) (bool, error) {
+	var targets []target
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return false, err
+		}
+		sp, err := spec.Parse(f)
+		f.Close()
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", p, err)
+		}
+		name := sp.Name
+		if name == "" {
+			name = p
+		}
+		targets = append(targets, target{name: name, path: p, wf: sp.Workflow, sp: sp})
+	}
+	if len(targets) == 0 {
+		for _, wl := range []*workload.Workload{
+			workload.Travel(1),
+			workload.Chain(6, 3),
+			workload.Diamond(3, 3),
+			workload.Mix(4, 6, 1996, 3),
+		} {
+			targets = append(targets, target{name: wl.Name, wf: wl.Workflow})
+		}
+	}
+
+	allOk := true
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "workflow\tevents\tmax traces\tstates\tmemo hits\tadmitted\telapsed\tresult")
+	var diverged []*mc.Report
+	for _, tgt := range targets {
+		rep, err := mc.Check(tgt.name, tgt.wf, mc.Options{MaxEvents: maxEvents, Budget: budget})
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", tgt.name, err)
+		}
+		switch {
+		case rep.SkipReason != "":
+			allOk = false
+			fmt.Fprintf(w, "%s\t-\t-\t-\t-\t-\t-\tSKIPPED: %s\n", rep.Name, rep.SkipReason)
+		case rep.Divergence != nil:
+			allOk = false
+			diverged = append(diverged, rep)
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\tref=%d tree=%d prog=%d\t%v\tDIVERGED\n",
+				rep.Name, rep.Events, rep.MaxTraces, rep.States, rep.MemoHits,
+				rep.Admitted[mc.EngRef], rep.Admitted[mc.EngTree], rep.Admitted[mc.EngProg],
+				rep.Elapsed.Round(time.Millisecond))
+		default:
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%v\tok\n",
+				rep.Name, rep.Events, rep.MaxTraces, rep.States, rep.MemoHits,
+				rep.Admitted[mc.EngRef], rep.Elapsed.Round(time.Millisecond))
+		}
+	}
+	w.Flush()
+	for _, rep := range diverged {
+		fmt.Fprintf(out, "\n%s minimal counterexample:\n  %v\n", rep.Name, rep.Divergence)
+		path := rep.Name
+		for _, tgt := range targets {
+			if tgt.name == rep.Name && tgt.path != "" {
+				path = tgt.path
+			}
+		}
+		fmt.Fprintf(out, "  replay: %s\n", rep.Divergence.ReplayCmd(path))
+	}
+
+	if explore {
+		fmt.Fprintln(out)
+		for _, tgt := range targets {
+			if tgt.sp == nil {
+				fmt.Fprintf(out, "explore %s: SKIPPED: builtin workloads have no spec to drive\n", tgt.name)
+				continue
+			}
+			rep, err := mc.Explore(tgt.name, tgt.sp, mc.ExploreOptions{
+				MaxEvents: maxEvents, MaxRuns: runs, Budget: budget,
+			})
+			if err != nil {
+				return false, fmt.Errorf("explore %s: %w", tgt.name, err)
+			}
+			switch {
+			case rep.SkipReason != "":
+				allOk = false
+				fmt.Fprintf(out, "explore %s: SKIPPED: %s\n", rep.Name, rep.SkipReason)
+			case rep.Violation != "":
+				allOk = false
+				fmt.Fprintf(out, "explore %s: VIOLATION: %s\n", rep.Name, rep.Violation)
+				for _, step := range rep.ViolationTrace {
+					fmt.Fprintf(out, "  %s\n", step)
+				}
+			default:
+				verdict := "converged"
+				if rep.Truncated {
+					verdict = fmt.Sprintf("truncated at %d runs (not silently)", rep.Runs)
+				}
+				fmt.Fprintf(out, "explore %s: %d runs, %d choice points, %d pruned states, %d distinct outcomes, %v — %s\n",
+					rep.Name, rep.Runs, rep.ChoicePoints, rep.PrunedStates,
+					len(rep.Outcomes), rep.Elapsed.Round(time.Millisecond), verdict)
+			}
+		}
+	}
+	return allOk, nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunSpecs(t *testing.T) {
+	var out bytes.Buffer
+	ok, err := run(&out, []string{"../../testdata/mutex.wf", "../../testdata/travel.wf"},
+		12, false, 0, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("check not ok:\n%s", out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"workflow", "max traces", "mutex", "travel", "ok"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "DIVERGED") || strings.Contains(text, "SKIPPED") {
+		t.Errorf("unexpected verdict:\n%s", text)
+	}
+}
+
+func TestRunBuiltins(t *testing.T) {
+	var out bytes.Buffer
+	ok, err := run(&out, nil, 12, false, 0, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("builtin suite not ok:\n%s", out.String())
+	}
+	for _, want := range []string{"travel-1", "chain-6", "diamond-3", "mix-4-6-1996"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing builtin %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunExplore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration sweep in -short")
+	}
+	var out bytes.Buffer
+	ok, err := run(&out, []string{"../../testdata/travel.wf"}, 12, true, 4000, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("explore not ok:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "explore travel:") {
+		t.Errorf("missing explore report:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "VIOLATION") {
+		t.Errorf("unexpected violation:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run(&out, []string{"no-such-file.wf"}, 12, false, 0, time.Second); err == nil {
+		t.Fatal("missing file must error")
+	}
+	// An oversized ceiling is reported as an explicit skip, not ok.
+	ok, err := run(&out, []string{"../../testdata/travel.wf"}, 3, false, 0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("undersized ceiling must not be ok:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "SKIPPED") {
+		t.Errorf("skip not reported explicitly:\n%s", out.String())
+	}
+}

@@ -18,11 +18,16 @@
 // them; rerunning with the same directory recovers a crashed run from
 // the logs and resumes it.
 //
+// With -order k1,k2,… the spec's agents are replaced by a replay
+// script attempting the listed symbols in sequence — the invocation
+// the model checker's counterexample printer (internal/mc) emits for
+// re-driving a diverging trace.
+//
 // Usage:
 //
 //	wfrun [-transport sim|live|net]
 //	      [-sched distributed|central-residuation|central-automata|all]
-//	      [-instances n] [-workers n]
+//	      [-order k1,k2,...] [-instances n] [-workers n]
 //	      [-wal dir] [-walnosync] [-walcheckpoint d] [-walcommitinterval d]
 //	      [-seed n] [-decisions] [-trace out.jsonl] [file.wf]
 package main
@@ -32,19 +37,23 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/algebra"
 	"repro/internal/arun"
 	"repro/internal/engine"
 	"repro/internal/netwire"
 	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/simnet"
 	"repro/internal/spec"
 )
 
 func main() {
 	transport := flag.String("transport", "sim", "transport: sim, live, or net")
 	kindFlag := flag.String("sched", "distributed", "scheduler kind, or 'all' to compare (sim transport only)")
+	order := flag.String("order", "", "replay a comma-separated announcement order in place of the spec's agents (the model checker's counterexamples print these)")
 	instances := flag.Int("instances", 1, "concurrent workflow instances (>1 uses the multi-instance engine; sim or net)")
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = engine default)")
 	seed := flag.Int64("seed", 1996, "simulation seed")
@@ -66,7 +75,7 @@ func main() {
 		in = f
 	}
 	wal := walOpts{Dir: *walDir, NoSync: *walNoSync, Checkpoint: *walCkpt, Commit: *walCommit}
-	if err := run(in, os.Stdout, *transport, *kindFlag, *instances, *workers, *seed, *showDecisions, *traceOut, wal); err != nil {
+	if err := run(in, os.Stdout, *transport, *kindFlag, *order, *instances, *workers, *seed, *showDecisions, *traceOut, wal); err != nil {
 		fatal(err)
 	}
 }
@@ -83,10 +92,15 @@ type walOpts struct {
 // scheduler(s) and writes the report to out.  A non-empty traceOut
 // enables full decision-trace capture on the process-wide tracer and
 // writes the causally ordered stream there afterwards.
-func run(in io.Reader, out io.Writer, transport, kindFlag string, instances, workers int, seed int64, showDecisions bool, traceOut string, wal walOpts) error {
+func run(in io.Reader, out io.Writer, transport, kindFlag, order string, instances, workers int, seed int64, showDecisions bool, traceOut string, wal walOpts) error {
 	s, err := spec.Parse(in)
 	if err != nil {
 		return err
+	}
+	if order != "" {
+		if err := applyOrder(s, order); err != nil {
+			return err
+		}
 	}
 	if wal.Dir != "" && transport != "net" {
 		return fmt.Errorf("-wal needs the net transport, not %q", transport)
@@ -115,6 +129,42 @@ func run(in io.Reader, out io.Writer, transport, kindFlag string, instances, wor
 		}
 	}
 	return err
+}
+
+// applyOrder replaces the spec's agents with a replay script: one
+// agent per symbol in the comma-separated order, attempting it at
+// think times that preserve the listed sequence.  This is the flag
+// the model checker's counterexample printer (internal/mc) emits —
+// `wfrun -sched distributed -order k1,k2,... spec.wf` re-drives a
+// diverging trace through the real scheduler.
+func applyOrder(s *spec.Spec, order string) error {
+	alpha := map[string]bool{}
+	for _, b := range s.Workflow.Alphabet().Bases() {
+		alpha[b.Key()] = true
+	}
+	placement := s.Placement()
+	var agents []*sched.AgentScript
+	for i, part := range strings.Split(order, ",") {
+		part = strings.TrimSpace(part)
+		sym, err := algebra.ParseSymbol(part)
+		if err != nil {
+			return fmt.Errorf("-order: %w", err)
+		}
+		if !alpha[sym.Base().Key()] {
+			return fmt.Errorf("-order: %q is not in the workflow alphabet", part)
+		}
+		site := placement[sym.Base().Key()]
+		if site == "" {
+			site = "s0"
+		}
+		agents = append(agents, &sched.AgentScript{
+			ID:    fmt.Sprintf("replay-%d-%s", i, sym.Key()),
+			Site:  site,
+			Steps: []sched.Step{{Sym: sym, Think: simnet.Time(10 * (i + 1))}},
+		})
+	}
+	s.Agents = agents
+	return nil
 }
 
 // writeTrace sorts a capture into causal order and writes it as JSONL.

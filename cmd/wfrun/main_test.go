@@ -5,6 +5,9 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/mc"
+	"repro/internal/spec"
 )
 
 func TestRunAllSchedulers(t *testing.T) {
@@ -14,7 +17,7 @@ func TestRunAllSchedulers(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer
-		if err := run(f, &out, "sim", "all", 1, 0, 1996, true, "", walOpts{}); err != nil {
+		if err := run(f, &out, "sim", "all", "", 1, 0, 1996, true, "", walOpts{}); err != nil {
 			t.Fatalf("%s: %v", file, err)
 		}
 		f.Close()
@@ -45,7 +48,7 @@ func TestRunAsyncTransports(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer
-		err = run(f, &out, transport, "distributed", 1, 0, 1, false, "", walOpts{})
+		err = run(f, &out, transport, "distributed", "", 1, 0, 1, false, "", walOpts{})
 		f.Close()
 		if err != nil {
 			t.Fatalf("%s: %v", transport, err)
@@ -72,7 +75,7 @@ func TestRunEngineInstances(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer
-		err = run(f, &out, transport, "distributed", 16, 4, 1996, false, "", walOpts{})
+		err = run(f, &out, transport, "distributed", "", 16, 4, 1996, false, "", walOpts{})
 		f.Close()
 		if err != nil {
 			t.Fatalf("%s: %v", transport, err)
@@ -89,20 +92,113 @@ func TestRunEngineInstances(t *testing.T) {
 		}
 	}
 	var out bytes.Buffer
-	if err := run(strings.NewReader("dep ~a + b"), &out, "live", "distributed", 2, 0, 1, false, "", walOpts{}); err == nil {
+	if err := run(strings.NewReader("dep ~a + b"), &out, "live", "distributed", "", 2, 0, 1, false, "", walOpts{}); err == nil {
 		t.Fatal("-instances over the live transport must error")
 	}
 }
 
+// TestRunOrderReplay closes the counterexample loop: every admitted
+// maximal trace of the travel example, fed back through -order in the
+// exact syntax the model checker's ReplayCmd prints, must re-drive
+// the distributed scheduler to a satisfied run whose realized trace
+// is itself admitted.  (The scheduler parks attempts whose guards are
+// not yet decidable, so the realized order may be a different
+// admissible linearization of the requested attempts — the replay
+// pins the attempt order, the checker's semantics pin the outcome.)
+func TestRunOrderReplay(t *testing.T) {
+	f, err := os.Open("../../testdata/travel.wf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := spec.Parse(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted, err := mc.AdmittedTraces(sp.Workflow, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(admitted) == 0 {
+		t.Fatal("no admitted traces")
+	}
+	admittedSet := map[string]bool{}
+	for _, u := range admitted {
+		keys := make([]string, len(u))
+		for i, s := range u {
+			keys[i] = s.Key()
+		}
+		admittedSet[strings.Join(keys, " ")] = true
+	}
+	checked := 0
+	for _, u := range admitted {
+		keys := make([]string, len(u))
+		for i, s := range u {
+			keys[i] = s.Key()
+		}
+		order := strings.Join(keys, ",")
+		g, err := os.Open("../../testdata/travel.wf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		err = run(g, &out, "sim", "distributed", order, 1, 0, 1996, false, "", walOpts{})
+		g.Close()
+		if err != nil {
+			t.Fatalf("-order %s: %v", order, err)
+		}
+		text := out.String()
+		if !strings.Contains(text, "satisfied: true") {
+			t.Errorf("-order %s: replay not satisfied:\n%s", order, text)
+		}
+		realized := realizedTrace(t, text)
+		if !admittedSet[realized] {
+			t.Errorf("-order %s: realized trace <%s> is not an admitted maximal trace:\n%s", order, realized, text)
+		}
+		checked++
+	}
+	t.Logf("replayed %d admitted maximal traces through -order", checked)
+
+	// Out-of-alphabet and malformed orders are rejected up front.
+	var out bytes.Buffer
+	g, _ := os.Open("../../testdata/travel.wf")
+	if err := run(g, &out, "sim", "distributed", "s_buy,warp_core", 1, 0, 1, false, "", walOpts{}); err == nil ||
+		!strings.Contains(err.Error(), "not in the workflow alphabet") {
+		t.Errorf("out-of-alphabet order: err = %v", err)
+	}
+	g.Close()
+	g, _ = os.Open("../../testdata/travel.wf")
+	if err := run(g, &out, "sim", "distributed", "s_buy,+", 1, 0, 1, false, "", walOpts{}); err == nil ||
+		!strings.Contains(err.Error(), "-order") {
+		t.Errorf("malformed order: err = %v", err)
+	}
+	g.Close()
+}
+
+// realizedTrace extracts the space-joined symbol keys from a report's
+// "trace:     <k1 k2 …>" line.
+func realizedTrace(t *testing.T, text string) string {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "trace:") {
+			continue
+		}
+		v := strings.TrimSpace(strings.TrimPrefix(line, "trace:"))
+		return strings.Trim(v, "<>[]")
+	}
+	t.Fatalf("no trace line in:\n%s", text)
+	return ""
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("nonsense"), &out, "sim", "distributed", 1, 0, 1, false, "", walOpts{}); err == nil {
+	if err := run(strings.NewReader("nonsense"), &out, "sim", "distributed", "", 1, 0, 1, false, "", walOpts{}); err == nil {
 		t.Fatal("bad spec must error")
 	}
-	if err := run(strings.NewReader("dep ~a + b"), &out, "sim", "warp", 1, 0, 1, false, "", walOpts{}); err == nil {
+	if err := run(strings.NewReader("dep ~a + b"), &out, "sim", "warp", "", 1, 0, 1, false, "", walOpts{}); err == nil {
 		t.Fatal("unknown scheduler must error")
 	}
-	if err := run(strings.NewReader("dep ~a + b"), &out, "carrier-pigeon", "distributed", 1, 0, 1, false, "", walOpts{}); err == nil {
+	if err := run(strings.NewReader("dep ~a + b"), &out, "carrier-pigeon", "distributed", "", 1, 0, 1, false, "", walOpts{}); err == nil {
 		t.Fatal("unknown transport must error")
 	}
 }

@@ -1,0 +1,109 @@
+package algebra
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestParseErrorMessages pins the exact diagnostic for every parser
+// failure mode: the message text (which the CLI tools print verbatim),
+// and the structured offset/token that the spec front end turns into
+// line/column coordinates.
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		msg    string
+		offset int
+		token  string
+	}{
+		{
+			name:   "dangling operator",
+			src:    "a + + b",
+			msg:    `algebra: parse error at offset 4: unexpected "+"`,
+			offset: 4, token: "+",
+		},
+		{
+			name:   "invalid character",
+			src:    "a @ b",
+			msg:    `algebra: invalid character '@' at offset 2`,
+			offset: 2, token: "@",
+		},
+		{
+			name:   "unclosed paren",
+			src:    "(a + b",
+			msg:    `algebra: parse error at offset 6: expected ')', got ""`,
+			offset: 6, token: "",
+		},
+		{
+			name:   "complement of compound",
+			src:    "~(a + b)",
+			msg:    `algebra: parse error at offset 1: '~' must be applied to an event symbol, got "("`,
+			offset: 1, token: "(",
+		},
+		{
+			name:   "empty expression",
+			src:    "",
+			msg:    `algebra: parse error at offset 0: unexpected end of expression`,
+			offset: 0, token: "",
+		},
+		{
+			name:   "trailing garbage",
+			src:    "a b",
+			msg:    `algebra: parse error at offset 2: unexpected "b" after expression`,
+			offset: 2, token: "b",
+		},
+		{
+			name:   "bare variable marker",
+			src:    "e[?]",
+			msg:    `algebra: parse error at offset 3: expected variable name after '?', got "]"`,
+			offset: 3, token: "]",
+		},
+		{
+			name:   "missing parameter term",
+			src:    "e[a,]",
+			msg:    `algebra: parse error at offset 4: expected parameter term, got "]"`,
+			offset: 4, token: "]",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded", c.src)
+			}
+			if err.Error() != c.msg {
+				t.Errorf("message %q, want %q", err.Error(), c.msg)
+			}
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Fatalf("error is %T, not *SyntaxError", err)
+			}
+			if se.Offset != c.offset {
+				t.Errorf("Offset = %d, want %d", se.Offset, c.offset)
+			}
+			if se.Token != c.token {
+				t.Errorf("Token = %q, want %q", se.Token, c.token)
+			}
+		})
+	}
+}
+
+// TestParseSymbolError: compound expressions are structured failures
+// too, anchored at the whole source.
+func TestParseSymbolError(t *testing.T) {
+	_, err := ParseSymbol("a + b")
+	if err == nil {
+		t.Fatal("ParseSymbol accepted a choice")
+	}
+	if want := `algebra: "a + b" is not a single event symbol`; err.Error() != want {
+		t.Errorf("message %q, want %q", err.Error(), want)
+	}
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T, not *SyntaxError", err)
+	}
+	if se.Offset != 0 || se.Token != "a + b" {
+		t.Errorf("anchor = (%d, %q), want (0, %q)", se.Offset, se.Token, "a + b")
+	}
+}

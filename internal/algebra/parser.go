@@ -46,6 +46,26 @@ func MustParse(src string) *Expr {
 	return e
 }
 
+// SyntaxError is a structured expression-parse failure: the byte
+// offset into the source and the offending token, so front ends (the
+// .wf parser, the service API) can point at the exact column instead
+// of reprinting an opaque message.  Error() keeps the exact text this
+// package has always produced.
+type SyntaxError struct {
+	// Offset is the 0-based byte offset of the offending token in the
+	// expression source (len(src) at end of input).
+	Offset int
+	// Token is the offending token text, "" at end of input.
+	Token string
+	msg   string
+}
+
+func (e *SyntaxError) Error() string { return e.msg }
+
+func syntaxErr(offset int, token, msg string) *SyntaxError {
+	return &SyntaxError{Offset: offset, Token: token, msg: msg}
+}
+
 type tokKind uint8
 
 const (
@@ -117,7 +137,8 @@ func (l *lexer) next() (token, error) {
 		}
 		return token{kind: tokIdent, text: text, pos: start}, nil
 	}
-	return token{}, fmt.Errorf("algebra: invalid character %q at offset %d", c, start)
+	return token{}, syntaxErr(start, string(c),
+		fmt.Sprintf("algebra: invalid character %q at offset %d", c, start))
 }
 
 func isIdentStart(c byte) bool {
@@ -143,7 +164,8 @@ func (p *parser) advance() error {
 }
 
 func (p *parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("algebra: parse error at offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+	return syntaxErr(p.tok.pos, p.tok.text,
+		fmt.Sprintf("algebra: parse error at offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...)))
 }
 
 func (p *parser) parseChoice() (*Expr, error) {
@@ -325,7 +347,7 @@ func ParseSymbol(src string) (Symbol, error) {
 		return Symbol{}, err
 	}
 	if e.Kind() != KAtom {
-		return Symbol{}, fmt.Errorf("algebra: %q is not a single event symbol", src)
+		return Symbol{}, syntaxErr(0, src, fmt.Sprintf("algebra: %q is not a single event symbol", src))
 	}
 	return e.Symbol(), nil
 }

@@ -127,6 +127,10 @@ type Runner struct {
 	poll      time.Duration
 	satCache  *SatCache
 
+	// hosts are this runner's installed site hosts, retained so
+	// StateDigest can walk every actor deterministically.
+	hosts map[simnet.SiteID]*siteHost
+
 	mu  sync.Mutex
 	occ map[string]occRec
 	dec map[string]actor.DecisionMsg
@@ -351,6 +355,59 @@ func (r *Runner) resolved(b algebra.Symbol) bool {
 	_, pos := r.occ[b.Base().Key()]
 	_, neg := r.occ[b.Base().Complement().Key()]
 	return pos || neg
+}
+
+// StateDigest serializes the run's complete deterministic state: every
+// hosted actor's digest (in sorted site and actor order) plus the
+// driver's observation maps.  The model checker's interleaving
+// exploration (internal/mc) combines it with the transport's queued
+// messages to prune delivery-order branches that reconverge.  The
+// announcement/decision tallies are deliberately excluded — they are
+// reporting counters no future step reads.
+func (r *Runner) StateDigest() string {
+	var b strings.Builder
+	sites := make([]simnet.SiteID, 0, len(r.hosts))
+	for site := range r.hosts {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, site := range sites {
+		h := r.hosts[site]
+		for _, key := range h.order {
+			b.WriteString(h.actors[key].StateDigest())
+			b.WriteString("\n")
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	occKeys := make([]string, 0, len(r.occ))
+	for k := range r.occ {
+		occKeys = append(occKeys, k)
+	}
+	sort.Strings(occKeys)
+	for _, k := range occKeys {
+		fmt.Fprintf(&b, "occ:%s@%d;", k, r.occ[k].at)
+	}
+	decKeys := make([]string, 0, len(r.dec))
+	for k := range r.dec {
+		decKeys = append(decKeys, k)
+	}
+	sort.Strings(decKeys)
+	for _, k := range decKeys {
+		d := r.dec[k]
+		fmt.Fprintf(&b, "dec:%s=%v@%d;", k, d.Accepted, d.At)
+	}
+	genKeys := make([]string, 0, len(r.decGen))
+	for k := range r.decGen {
+		if r.decGen[k] != 0 {
+			genKeys = append(genKeys, k)
+		}
+	}
+	sort.Strings(genKeys)
+	for _, k := range genKeys {
+		fmt.Fprintf(&b, "gen:%s=%d;", k, r.decGen[k])
+	}
+	return b.String()
 }
 
 // attempt submits one attempt from the driver.  In the default mode

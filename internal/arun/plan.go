@@ -319,6 +319,7 @@ func (p *Plan) build(tr Transport, opt RunnerOptions, quietTrace bool) (*runnerB
 	if p.observe && hosted(p.driver) {
 		tr.Register(p.driver, r.onDriverMsg)
 	}
+	r.hosts = hosts
 	b := &runnerBuild{r: r, hosts: hosts, tracer: tracer, inst: opt.Instance}
 	if sp, ok := tr.(snapshotable); ok {
 		sp.SetSnapshotProvider(b.exportSite)

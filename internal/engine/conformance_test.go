@@ -1,0 +1,126 @@
+package engine_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/arun"
+	"repro/internal/engine"
+	"repro/internal/mc"
+	"repro/internal/spec"
+)
+
+// TestEngineOutcomesWithinAdmissibleSet closes the loop between the
+// bounded model checker and the production scheduler: the checker
+// enumerates (internal/mc) the exact set of admissible outcome
+// fingerprints per spec, and a seed-and-jitter sweep of real engine
+// runs must stay within it.  Where the exploration mode (mc.Explore)
+// systematically walks the controllable transport's interleavings,
+// this sweep samples the engine's own transport stack — per-instance
+// simulators with widened jitter — so the code path the benchmarks and
+// services run is covered too.
+//
+// Two tiers, mirroring the runner's contract ("drives the agents to
+// completion (or stall)"): a complete outcome must be one of the
+// admissible fingerprints exactly; a stalled outcome — the bounded
+// closeout gave up with events unresolved, which adversarial jitter
+// can force on non-confluent workloads like mutex — must still be
+// SAFE: its realized partial trace must be a prefix of some admitted
+// maximal trace, i.e. the scheduler may park but never commits an
+// occurrence that makes the dependencies unsatisfiable.
+func TestEngineOutcomesWithinAdmissibleSet(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.wf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no .wf specs under testdata/")
+	}
+	seeds := []int64{1, 7, 1996, 42424242}
+	instances := 64
+	if testing.Short() {
+		seeds = seeds[:1]
+		instances = 16
+	}
+	for _, p := range paths {
+		p := p
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			f, err := os.Open(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := spec.Parse(f)
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			expected, skip, err := mc.AdmissibleFingerprints(sp, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if skip != "" {
+				t.Logf("SKIPPED (not silently): %s: %s", p, skip)
+				return
+			}
+			admitted, err := mc.AdmittedTraces(sp.Workflow, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			distinct := map[string]bool{}
+			stalls := 0
+			for _, seed := range seeds {
+				res, err := engine.Run(sp, engine.Options{
+					Instances: instances, Seed: seed, Jitter: 2000, KeepOutcomes: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, out := range res.Outcomes {
+					fp := out.Fingerprint()
+					distinct[fp] = true
+					if len(out.Unresolved) == 0 {
+						if !expected[fp] {
+							t.Errorf("seed %d: complete outcome outside the admissible set:\n  %s", seed, fp)
+						}
+						continue
+					}
+					stalls++
+					if !prefixOfAdmitted(t, out, admitted) {
+						t.Errorf("seed %d: stalled outcome is not a safe prefix of any admitted trace:\n  %s", seed, fp)
+					}
+				}
+			}
+			if stalls > 0 {
+				t.Logf("STALLED (not silently): %d of %d instances parked before resolving every event; their partial traces are all safe prefixes", stalls, len(seeds)*instances)
+			}
+			t.Logf("%s: %d seeds × %d instances, %d distinct fingerprints vs %d admissible",
+				filepath.Base(p), len(seeds), instances, len(distinct), len(expected))
+		})
+	}
+}
+
+// prefixOfAdmitted reports whether the outcome's realized occurrence
+// order is a prefix of at least one admitted maximal trace.
+func prefixOfAdmitted(t *testing.T, out *arun.Outcome, admitted []algebra.Trace) bool {
+	t.Helper()
+	got := make([]string, len(out.Trace))
+	copy(got, out.Trace)
+	for _, u := range admitted {
+		if len(got) > len(u) {
+			continue
+		}
+		ok := true
+		for i, k := range got {
+			if u[i].Key() != k {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

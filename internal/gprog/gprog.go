@@ -34,6 +34,8 @@
 package gprog
 
 import (
+	"math"
+
 	"repro/internal/algebra"
 	"repro/internal/temporal"
 )
@@ -182,6 +184,47 @@ func (p *Prog) NeedsLocal(pol int) bool { return p.pols[pol].hasLocal }
 // Lits returns the number of literal slots (for tests and stats).
 func (p *Prog) Lits() int { return len(p.lits) }
 
+// Words returns the number of uint64 words per literal bitmask: 1 on
+// the fast path, more once the literal universe spills past 64 slots.
+func (p *Prog) Words() int { return p.words }
+
+// ProductLits reconstructs one polarity's products as temporal
+// literals by reading the compiled masks back, word by word.  The
+// model checker evaluates these instead of the source formula, so a
+// lowering bug (a wrong bit, a mis-interned literal, a truncated
+// spill mask) shows up as a conformance divergence rather than being
+// masked by re-deriving the products from the same formula.  An empty
+// product slice means the guard is unsatisfiable; a product with no
+// literals is vacuously true.
+func (p *Prog) ProductLits(pol int) [][]temporal.Literal {
+	pp := &p.pols[pol]
+	out := make([][]temporal.Literal, pp.nprods)
+	for pi := 0; pi < pp.nprods; pi++ {
+		base := pi * p.words
+		lits := []temporal.Literal{}
+		for li := 0; li < len(p.lits); li++ {
+			if pp.prods[base+(li>>6)]&(1<<(uint(li)&63)) == 0 {
+				continue
+			}
+			slot := &p.lits[li]
+			switch slot.kind {
+			case temporal.LitOccurred:
+				lits = append(lits, temporal.Occurred(p.syms[slot.seq[0]]))
+			case temporal.LitNotYet:
+				lits = append(lits, temporal.NotYet(p.syms[slot.seq[0]]))
+			default:
+				syms := make([]algebra.Symbol, len(slot.seq))
+				for i, si := range slot.seq {
+					syms[i] = p.syms[si]
+				}
+				lits = append(lits, temporal.Eventually(syms...))
+			}
+		}
+		out[pi] = lits
+	}
+	return out
+}
+
 // Syms returns the symbol universe size (for tests and stats).
 func (p *Prog) Syms() int { return len(p.syms) }
 
@@ -222,6 +265,19 @@ func (p *Prog) NewState() *State {
 
 // Prog returns the program the state was derived from.
 func (s *State) Prog() *Prog { return s.p }
+
+// Reset returns the state to all-unknown without reallocating, so one
+// State can replay many traces (the model checker's per-trace replay).
+func (s *State) Reset() {
+	for i := range s.status {
+		s.status[i] = temporal.StatusUnknown
+		s.times[i] = 0
+	}
+	for w := 0; w < s.p.words; w++ {
+		s.decTrue[w], s.decFalse[w] = 0, 0
+		s.permTrue[w], s.permFalse[w] = 0, 0
+	}
+}
 
 // index resolves a symbol to its dense index, or -1 when the symbol
 // is irrelevant to either guard.  Key() is allocation-free for
@@ -467,6 +523,72 @@ func (s *State) Decide(pol int, localClean bool) temporal.Tri {
 func (s *State) Eval(pol int) temporal.Tri {
 	pp := &s.p.pols[pol]
 	return s.evalProds(pp, s.permTrue, s.permFalse)
+}
+
+// EvalAsOf evaluates one polarity's guard as of cutoff time t over the
+// facts observed so far: □s and ¬s are judged against occurrences
+// strictly before t (holds, promises, and conditional promises are
+// ignored — this is the permanent-facts view at an earlier instant),
+// while ◇ sequences are judged over the whole observed history,
+// matching Formula.EvalAt's index-independent reading of ◇.  With
+// every symbol of the program's universe resolved — occurred or
+// impossible — the verdict is definite; unresolved symbols yield
+// Unknown.  The verdict lands in the overlay scratch, so EvalAsOf
+// does not disturb the decide-time or permanent bitmasks.
+func (s *State) EvalAsOf(pol int, t int64) temporal.Tri {
+	for li := range s.p.lits {
+		setTri(s.ovTrue, s.ovFalse, int32(li), s.litAsOf(&s.p.lits[li], t))
+	}
+	return s.evalProds(&s.p.pols[pol], s.ovTrue, s.ovFalse)
+}
+
+// litAsOf is litVerdict with the clock stopped at t: occurrence facts
+// before t count, later ones read as not-yet-at-t, and ◇ ignores the
+// cutoff entirely.
+func (s *State) litAsOf(slot *litSlot, t int64) temporal.Tri {
+	switch slot.kind {
+	case temporal.LitOccurred:
+		switch s.status[slot.seq[0]] {
+		case temporal.StatusOccurred:
+			if s.times[slot.seq[0]] < t {
+				return temporal.True
+			}
+			return temporal.False
+		case temporal.StatusImpossible:
+			return temporal.False
+		}
+		return temporal.Unknown
+	case temporal.LitNotYet:
+		switch s.status[slot.seq[0]] {
+		case temporal.StatusOccurred:
+			if s.times[slot.seq[0]] < t {
+				return temporal.False
+			}
+			return temporal.True
+		case temporal.StatusImpossible:
+			return temporal.True
+		}
+		return temporal.Unknown
+	}
+	lastOcc := int64(math.MinInt64)
+	unknown := false
+	for _, si := range slot.seq {
+		switch s.status[si] {
+		case temporal.StatusImpossible:
+			return temporal.False
+		case temporal.StatusOccurred:
+			if s.times[si] <= lastOcc {
+				return temporal.False
+			}
+			lastOcc = s.times[si]
+		default:
+			unknown = true
+		}
+	}
+	if unknown {
+		return temporal.Unknown
+	}
+	return temporal.True
 }
 
 // evalProds is the three-valued OR over product masks: a product is

@@ -1,0 +1,106 @@
+package mc
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+)
+
+func specPaths() ([]string, error) {
+	return filepath.Glob(filepath.Join("..", "..", "testdata", "*.wf"))
+}
+
+func exploreSpec(t *testing.T, path string) *spec.Spec {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := spec.Parse(f)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return s
+}
+
+// TestExploreSchedulerInterleavings drives the real scheduler stack
+// (plan → runner → actors) over the controllable transport through
+// every announcement interleaving of each testdata spec, and asserts
+// every reachable outcome fingerprint is in the trace-level admissible
+// set.
+func TestExploreSchedulerInterleavings(t *testing.T) {
+	paths, err := specPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			opt := ExploreOptions{Budget: 60 * time.Second}
+			if testing.Short() {
+				opt.MaxRuns = 200
+				opt.Budget = 10 * time.Second
+			}
+			rep, err := Explore(p, exploreSpec(t, p), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.SkipReason != "" {
+				t.Logf("SKIPPED (not silently): %s: %s", p, rep.SkipReason)
+				return
+			}
+			if rep.Violation != "" {
+				t.Fatalf("outcome outside admissible set: %s\ntrace: %v", rep.Violation, rep.ViolationTrace)
+			}
+			if rep.Truncated {
+				t.Logf("TRUNCATED (not silently): %s stopped after %d runs / %v", p, rep.Runs, rep.Elapsed)
+			}
+			fps := make([]string, 0, len(rep.Outcomes))
+			for fp := range rep.Outcomes {
+				fps = append(fps, fp)
+			}
+			sort.Strings(fps)
+			for _, fp := range fps {
+				t.Logf("outcome ×%-4d %s", rep.Outcomes[fp], fp)
+			}
+			t.Logf("%s: runs=%d choicePoints=%d pruned=%d distinctOutcomes=%d elapsed=%v",
+				p, rep.Runs, rep.ChoicePoints, rep.PrunedStates, len(rep.Outcomes), rep.Elapsed)
+		})
+	}
+}
+
+// TestExploreDeterministicReplay pins the stateless-re-execution
+// contract: running the empty script twice yields identical pick
+// sequences and outcomes.
+func TestExploreDeterministicReplay(t *testing.T) {
+	paths, err := specPaths()
+	if err != nil || len(paths) == 0 {
+		t.Fatal("no specs")
+	}
+	sp := exploreSpec(t, paths[0])
+	opt := ExploreOptions{MaxRuns: 1}
+	a, err := Explore(paths[0], sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Explore(paths[0], sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SkipReason != "" {
+		t.Skipf("spec skipped: %s", a.SkipReason)
+	}
+	if len(a.Outcomes) != len(b.Outcomes) {
+		t.Fatalf("non-deterministic exploration: %v vs %v", a.Outcomes, b.Outcomes)
+	}
+	for fp := range a.Outcomes {
+		if b.Outcomes[fp] != a.Outcomes[fp] {
+			t.Fatalf("non-deterministic exploration: %v vs %v", a.Outcomes, b.Outcomes)
+		}
+	}
+}

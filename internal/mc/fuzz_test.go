@@ -1,0 +1,37 @@
+package mc
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// FuzzModelCheck feeds the three-way conformance checker with random
+// workflows from the full dependency family mix (precedence,
+// implication, enabling, compensation, exclusion, mutex): any
+// divergence between the reference interpreter, the tree evaluator,
+// and the compiled bitset programs on any generated workflow is a
+// crash.  The seed corpus pins the paper's example shapes.
+func FuzzModelCheck(f *testing.F) {
+	f.Add(uint8(3), uint8(5), int64(4))    // travel-sized: 3 deps over 5 events
+	f.Add(uint8(2), uint8(4), int64(13))   // mutex-sized: 2 deps over 4 events
+	f.Add(uint8(5), uint8(6), int64(1996)) // orderproc-sized: 5 deps over 6 events
+	f.Add(uint8(1), uint8(3), int64(7))    // minimal: one dependency
+	f.Fuzz(func(t *testing.T, nDeps, nEvents uint8, seed int64) {
+		nd := int(nDeps)%8 + 1
+		ne := int(nEvents)%6 + 3
+		wl := workload.Mix(nd, ne, seed, 3)
+		rep, err := Check(wl.Name, wl.Workflow, Options{
+			MaxEvents: 8, NaiveLimit: 4, MaxStates: 500_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.SkipReason != "" {
+			t.Skipf("skipped: %s", rep.SkipReason)
+		}
+		if rep.Divergence != nil {
+			t.Fatalf("divergence on %s: %v", wl.Name, rep.Divergence)
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package mc
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/gprog"
+	"repro/internal/temporal"
+)
+
+// naiveCrossCheck is the brute-force layer for small universes: it
+// walks every maximal trace one by one — no memoization, no automata —
+// and judges each with
+//
+//   - the fresh interpreter over every dependency (refSat),
+//   - the tree evaluator exactly as core.GeneratesCompiled applies
+//     it: Formula.EvalAt of the fired symbol's guard at its position,
+//   - core.GeneratesCompiled itself (skipped when a mutation hook
+//     rewrites the tree guards, since GeneratesCompiled reads the
+//     unmutated table), and
+//   - a gprog replay: Observe the whole trace into the compiled
+//     program states, then State.EvalAsOf at each position.
+//
+// The per-engine admitted totals must reproduce the DAG enumeration's
+// counts exactly; a mismatch means the checker's own state machinery
+// is wrong, and is reported as an error rather than a divergence.
+func (ck *checker) naiveCrossCheck(rep *Report) error {
+	var counts [3]uint64
+	var checked uint64
+	trace := make([]algebra.Symbol, 0, len(ck.bases))
+	var walk func(usedBases uint32) error
+	walk = func(usedBases uint32) error {
+		if len(trace) == len(ck.bases) {
+			checked++
+			return ck.naiveLeaf(rep, trace, &counts)
+		}
+		for sid := 0; sid < len(ck.syms); sid++ {
+			if usedBases&(1<<(sid>>1)) != 0 {
+				continue
+			}
+			trace = append(trace, ck.syms[sid])
+			if err := walk(usedBases | 1<<(sid>>1)); err != nil {
+				return err
+			}
+			trace = trace[:len(trace)-1]
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return err
+	}
+	for e := 0; e < 3; e++ {
+		if counts[e] != rep.Admitted[e] {
+			return fmt.Errorf("mc: %s: internal: naive layer admits %d traces for engine %d, DAG enumeration %d",
+				ck.name, counts[e], e, rep.Admitted[e])
+		}
+	}
+	rep.NaiveChecked = checked
+	return nil
+}
+
+func (ck *checker) naiveLeaf(rep *Report, trace []algebra.Symbol, counts *[3]uint64) error {
+	u := algebra.Trace(append([]algebra.Symbol{}, trace...))
+
+	refOK := true
+	for _, d := range ck.w.Deps {
+		if !refSat(d, u) {
+			refOK = false
+			break
+		}
+	}
+
+	treeOK := true
+	for i, s := range u {
+		g := ck.c.GuardOf(s)
+		if ck.opt.TreeGuard != nil {
+			g = ck.opt.TreeGuard(s, g)
+		}
+		if !g.EvalAt(u, i) {
+			treeOK = false
+			break
+		}
+	}
+	if ck.opt.TreeGuard == nil {
+		if gen := core.GeneratesCompiled(ck.c, u); gen != treeOK {
+			return fmt.Errorf("mc: %s: internal: GeneratesCompiled=%v but per-position EvalAt=%v on %v",
+				ck.name, gen, treeOK, u)
+		}
+	}
+
+	progOK, err := ck.progReplay(u)
+	if err != nil {
+		return err
+	}
+
+	verdicts := [3]bool{refOK, treeOK, progOK}
+	for e, ok := range verdicts {
+		if ok {
+			counts[e]++
+		}
+	}
+	if (treeOK != refOK || progOK != refOK) && rep.Divergence == nil {
+		return fmt.Errorf("mc: %s: internal: naive layer diverges on %v (ref=%v tree=%v prog=%v) but the DAG enumeration saw none",
+			ck.name, u, refOK, treeOK, progOK)
+	}
+	return nil
+}
+
+// progReplay observes the whole maximal trace into every event's
+// compiled program state and re-derives admission with EvalAsOf: the
+// trace is admitted when each fired symbol's guard is True as of the
+// instant it fired.  Every verdict must be definite — the trace
+// resolves every symbol — so an Unknown is an internal error.
+func (ck *checker) progReplay(u algebra.Trace) (bool, error) {
+	for _, st := range ck.pstates {
+		st.Reset()
+	}
+	for i, s := range u {
+		for _, st := range ck.pstates {
+			st.Observe(s, int64(i+1))
+		}
+	}
+	ok := true
+	for i, s := range u {
+		bi := ck.symID[s.Base().Key()] / 2
+		pol := gprog.PolPos
+		if s.Bar {
+			pol = gprog.PolNeg
+		}
+		switch ck.pstates[bi].EvalAsOf(pol, int64(i+1)) {
+		case temporal.True:
+		case temporal.False:
+			ok = false
+		default:
+			return false, fmt.Errorf("mc: %s: internal: EvalAsOf unknown for %s at position %d of %v", ck.name, s, i, u)
+		}
+		if !ok {
+			break
+		}
+	}
+	return ok, nil
+}
+
+// AdmittedTraces enumerates the maximal traces the reference
+// interpreter admits, in canonical symbol order — the expected set the
+// scheduler exploration checks outcomes against.  It refuses universes
+// over maxEvents rather than truncating.
+func AdmittedTraces(w *core.Workflow, maxEvents int) ([]algebra.Trace, error) {
+	bases := w.Alphabet().Bases()
+	if len(bases) > maxEvents {
+		return nil, fmt.Errorf("mc: %d events exceed the %d-event enumeration bound", len(bases), maxEvents)
+	}
+	syms := make([]algebra.Symbol, 0, 2*len(bases))
+	for _, b := range bases {
+		syms = append(syms, b, b.Complement())
+	}
+	var out []algebra.Trace
+	trace := make([]algebra.Symbol, 0, len(bases))
+	var walk func(usedBases uint32)
+	walk = func(usedBases uint32) {
+		if len(trace) == len(bases) {
+			for _, d := range w.Deps {
+				if !refSat(d, trace) {
+					return
+				}
+			}
+			out = append(out, append(algebra.Trace{}, trace...))
+			return
+		}
+		for sid, s := range syms {
+			if usedBases&(1<<(sid>>1)) != 0 {
+				continue
+			}
+			trace = append(trace, s)
+			walk(usedBases | 1<<(sid>>1))
+			trace = trace[:len(trace)-1]
+		}
+	}
+	walk(0)
+	return out, nil
+}

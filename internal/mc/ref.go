@@ -1,0 +1,221 @@
+// Package mc is the bounded model checker: for universes up to
+// Options.MaxEvents events it enumerates every maximal trace of a
+// workflow with memoized bitset states and verifies three-way
+// conformance between
+//
+//	(a) the reference 𝒯-semantics of the dependency set — the small
+//	    interpreter in this file, written directly from Semantics 1–5
+//	    of the paper and deliberately independent of internal/core,
+//	(b) the tree-walking guard evaluator (internal/temporal guards
+//	    synthesized by internal/core), and
+//	(c) the flat bitset programs of internal/gprog, read back
+//	    literal-by-literal from the compiled product masks.
+//
+// Every divergence is reported as a counterexample trace, minimal in
+// the canonical symbol order the enumeration uses.  explore.go layers
+// a scheduler-interleaving exploration on top of the trace-level
+// check.
+package mc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+)
+
+// maxDepBases bounds the per-dependency reference automaton: a single
+// dependency mentioning more than this many distinct events is refused
+// with an explicit error rather than silently sampled.  Every
+// dependency family in the paper mentions at most three events.
+const maxDepBases = 6
+
+// refSat decides u ⊨ E by direct structural recursion over the event
+// algebra, one case per rule of the paper's trace semantics:
+//
+//	atom    — the symbol occurs in the segment,
+//	E1·E2   — the segment splits into contiguous pieces satisfying
+//	          the parts in order,
+//	E1+E2   — some alternative is satisfied by the segment,
+//	E1|E2   — every conjunct is satisfied by the segment.
+//
+// It deliberately shares nothing with algebra.Trace.Satisfies or the
+// guard synthesis: this is the oracle the compiled artifacts are
+// checked against.
+func refSat(e *algebra.Expr, u []algebra.Symbol) bool {
+	return refSatSeg(e, u, 0, len(u))
+}
+
+func refSatSeg(e *algebra.Expr, u []algebra.Symbol, lo, hi int) bool {
+	switch e.Kind() {
+	case algebra.KZero:
+		return false
+	case algebra.KTop:
+		return true
+	case algebra.KAtom:
+		s := e.Symbol()
+		for i := lo; i < hi; i++ {
+			if u[i].Equal(s) {
+				return true
+			}
+		}
+		return false
+	case algebra.KChoice:
+		for _, sub := range e.Subs() {
+			if refSatSeg(sub, u, lo, hi) {
+				return true
+			}
+		}
+		return false
+	case algebra.KConj:
+		for _, sub := range e.Subs() {
+			if !refSatSeg(sub, u, lo, hi) {
+				return false
+			}
+		}
+		return true
+	case algebra.KSeq:
+		return refSatParts(e.Subs(), u, lo, hi)
+	}
+	return false
+}
+
+// refSatParts splits u[lo:hi] into contiguous segments, one per part.
+func refSatParts(parts []*algebra.Expr, u []algebra.Symbol, lo, hi int) bool {
+	if len(parts) == 1 {
+		return refSatSeg(parts[0], u, lo, hi)
+	}
+	for cut := lo; cut <= hi; cut++ {
+		if refSatSeg(parts[0], u, lo, cut) && refSatParts(parts[1:], u, cut, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// depAuto is the reference automaton of one dependency: a DFA over the
+// projection of a maximal trace onto the exact symbols the dependency
+// mentions.  Satisfaction of a dependency depends only on that
+// projection — symbols outside Γ_D can be placed into any segment of
+// any split, so they never change an atom's verdict — which keeps the
+// automaton small and lets the checker's DAG states carry one class id
+// per dependency instead of a trace prefix.
+//
+// States are Nerode classes of projected prefixes: two prefixes are
+// merged exactly when every completion (including leaving any
+// remaining event absent, meaning its out-of-Γ polarity fired) gets
+// the same verdict.
+type depAuto struct {
+	name  string
+	dep   *algebra.Expr
+	gamma []algebra.Symbol // sorted; the exact symbols D mentions
+	gid   map[string]int   // symbol key → local index into gamma
+	start uint16
+	trans [][]int16 // class → local index → class (-1 = invalid: base already used)
+	// accept is the verdict when the workflow trace ends here: every
+	// gamma base not yet consumed fired its out-of-Γ polarity, so the
+	// projection is exactly the consumed prefix.
+	accept []bool
+}
+
+// buildDepAuto constructs the reference automaton for one dependency.
+func buildDepAuto(name string, d *algebra.Expr) (*depAuto, error) {
+	gammaSet := d.Gamma()
+	gamma := gammaSet.Symbols()
+	sort.Slice(gamma, func(i, j int) bool { return gamma[i].Less(gamma[j]) })
+	bases := map[string]bool{}
+	for _, s := range gamma {
+		bases[s.Base().Key()] = true
+	}
+	if len(bases) > maxDepBases {
+		return nil, fmt.Errorf("mc: dependency %s mentions %d events; the reference automaton is bounded at %d", name, len(bases), maxDepBases)
+	}
+	a := &depAuto{name: name, dep: d, gamma: gamma, gid: map[string]int{}}
+	for i, s := range gamma {
+		a.gid[s.Key()] = i
+	}
+
+	// BFS over projected prefixes, merging Nerode classes by signature.
+	classID := map[string]uint16{}
+	type pending struct {
+		prefix []algebra.Symbol
+		id     uint16
+	}
+	sig := a.signature(nil)
+	classID[sig] = 0
+	a.trans = append(a.trans, make([]int16, len(gamma)))
+	a.accept = append(a.accept, refSat(d, nil))
+	queue := []pending{{nil, 0}}
+	a.start = 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for gi, s := range gamma {
+			if prefixUsesBase(cur.prefix, s) {
+				a.trans[cur.id][gi] = -1
+				continue
+			}
+			next := append(append([]algebra.Symbol{}, cur.prefix...), s)
+			nsig := a.signature(next)
+			id, ok := classID[nsig]
+			if !ok {
+				id = uint16(len(a.trans))
+				classID[nsig] = id
+				a.trans = append(a.trans, make([]int16, len(gamma)))
+				a.accept = append(a.accept, refSat(d, next))
+				queue = append(queue, pending{next, id})
+			}
+			a.trans[cur.id][gi] = int16(id)
+		}
+	}
+	return a, nil
+}
+
+func prefixUsesBase(prefix []algebra.Symbol, s algebra.Symbol) bool {
+	for _, p := range prefix {
+		if p.SameEvent(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// signature is the Nerode key of a projected prefix: the set of gamma
+// symbols still available, plus the verdict of every completion in a
+// canonical enumeration order.  Completions extend the prefix with any
+// ordering of any subset of the remaining symbols (at most one
+// polarity per base; a base may also stay absent, which models its
+// out-of-Γ polarity firing in the full trace).
+func (a *depAuto) signature(prefix []algebra.Symbol) string {
+	var b []byte
+	var avail []int
+	for gi, s := range a.gamma {
+		if !prefixUsesBase(prefix, s) {
+			avail = append(avail, gi)
+		}
+	}
+	for _, gi := range avail {
+		b = append(b, byte(gi))
+	}
+	b = append(b, '|')
+	// The dependency expression is fixed per automaton, so the verdict
+	// bitstring over this canonical completion enumeration fully
+	// determines future behavior.
+	var walk func(seq []algebra.Symbol)
+	walk = func(seq []algebra.Symbol) {
+		if refSat(a.dep, seq) {
+			b = append(b, '1')
+		} else {
+			b = append(b, '0')
+		}
+		for _, gi := range avail {
+			s := a.gamma[gi]
+			if prefixUsesBase(seq, s) {
+				continue
+			}
+			walk(append(seq, s))
+		}
+	}
+	walk(append([]algebra.Symbol{}, prefix...))
+	return string(b)
+}

@@ -1,0 +1,51 @@
+package mc
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestModelCheckScale charts the memoized DAG against the factorial
+// trace space as the universe grows — the P17 data: mixed-dependency
+// workloads at 8, 10, and 12 events, checked exhaustively, reporting
+// states explored and memo hit rate next to the n!·2ⁿ a path
+// enumeration would have cost.  The 12-event run is the full-depth
+// configuration; it only runs with WFMC_FULL=1 so the default suite
+// stays fast.
+func TestModelCheckScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale sweep in -short")
+	}
+	sizes := []struct {
+		deps, events int
+		seed         int64 // chosen so every event index appears in a dependency
+		full         bool
+	}{
+		{6, 8, 1996, false},
+		{8, 10, 1, false},
+		{10, 12, 8, true},
+	}
+	for _, sz := range sizes {
+		wl := workload.Mix(sz.deps, sz.events, sz.seed, 4)
+		if sz.full && os.Getenv("WFMC_FULL") == "" {
+			t.Logf("%s: SKIPPED (not silently): full-depth run needs WFMC_FULL=1", wl.Name)
+			continue
+		}
+		rep, err := Check(wl.Name, wl.Workflow, Options{MaxEvents: sz.events, NaiveLimit: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.SkipReason != "" {
+			t.Fatalf("%s: skipped: %s", wl.Name, rep.SkipReason)
+		}
+		if rep.Divergence != nil {
+			t.Fatalf("%s: divergence: %v", wl.Name, rep.Divergence)
+		}
+		hitRate := float64(rep.MemoHits) / float64(uint64(rep.States)+rep.MemoHits)
+		t.Logf("%s: %d events, %d max traces, %d states, %.1f%% memo hits, %d admitted, %v",
+			wl.Name, rep.Events, rep.MaxTraces, rep.States, 100*hitRate,
+			rep.Admitted[EngRef], rep.Elapsed)
+	}
+}

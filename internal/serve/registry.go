@@ -25,6 +25,8 @@ type Error struct {
 	Status int    `json:"-"`
 	Msg    string `json:"error"`
 	Line   int    `json:"line,omitempty"`
+	Col    int    `json:"col,omitempty"`
+	Token  string `json:"token,omitempty"`
 	Event  string `json:"event,omitempty"`
 	// RetryAfter (seconds) accompanies 429 shed responses.
 	RetryAfter int `json:"retryAfter,omitempty"`
@@ -44,7 +46,7 @@ func errf(status int, format string, args ...any) *Error {
 func specError(err error) *Error {
 	var pe *spec.ParseError
 	if errors.As(err, &pe) {
-		return &Error{Status: 400, Msg: pe.Msg, Line: pe.Line, Event: pe.Event}
+		return &Error{Status: 400, Msg: pe.Msg, Line: pe.Line, Col: pe.Col, Token: pe.Token, Event: pe.Event}
 	}
 	return &Error{Status: 422, Msg: err.Error()}
 }

@@ -1,6 +1,12 @@
 package spec
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+)
 
 // ParseError is a structured spec parse failure: the line it occurred
 // on, the directive being parsed, and (when the failure is about a
@@ -18,6 +24,13 @@ type ParseError struct {
 	Directive string
 	// Event is the offending event symbol, when the error concerns one.
 	Event string
+	// Col is the 1-based column of the offending token within the
+	// source line, or 0 when the error is not anchored to one.  For
+	// expression errors it points inside the expression, at the token
+	// the algebra parser choked on.
+	Col int
+	// Token is the offending token text, if any.
+	Token string
 	// Msg is the human-readable description, without the "spec: line
 	// N:" prefix.
 	Msg string
@@ -45,4 +58,26 @@ func perr(line int, directive, event string, cause error, format string, args ..
 		Msg:       fmt.Sprintf(format, args...),
 		Err:       cause,
 	}
+}
+
+// at anchors the error at the offending token: Col becomes tok's
+// 1-based column within the raw source line.  When the wrapped cause
+// is an algebra.SyntaxError, tok is the expression source and the
+// parser's own byte offset is added, so the column points at the
+// token inside the expression rather than at the expression's start,
+// and Token is taken from the cause.
+func (e *ParseError) at(raw, tok string) *ParseError {
+	var se *algebra.SyntaxError
+	if errors.As(e.Err, &se) {
+		e.Token = se.Token
+		if i := strings.Index(raw, tok); i >= 0 {
+			e.Col = i + se.Offset + 1
+		}
+		return e
+	}
+	e.Token = tok
+	if i := strings.Index(raw, tok); tok != "" && i >= 0 {
+		e.Col = i + 1
+	}
+	return e
 }

@@ -1,0 +1,121 @@
+package spec
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestParseErrorCoordinates pins the structured diagnostics for every
+// .wf failure mode: the exact Error() text the CLI prints, plus the
+// line, 1-based column, and offending token that the service API
+// serializes for clients.  Columns are measured on the raw source
+// line — indentation counts — and for expression errors they point at
+// the token inside the expression the algebra parser choked on.
+func TestParseErrorCoordinates(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		msg       string
+		line, col int
+		token     string
+		directive string
+		event     string
+	}{
+		{
+			name: "dep expression error",
+			src:  "dep a + +\n",
+			msg:  `spec: line 1: algebra: parse error at offset 4: unexpected "+"`,
+			line: 1, col: 9, token: "+", directive: "dep",
+		},
+		{
+			name: "dep invalid character under a label",
+			src:  "workflow w\ndep init: a @ b\n",
+			msg:  `spec: line 2: algebra: invalid character '@' at offset 2`,
+			line: 2, col: 13, token: "@", directive: "dep",
+		},
+		{
+			name: "event symbol not atomic",
+			src:  "dep x + y\nevent a+b site=s0\n",
+			msg:  `spec: line 2: algebra: "a+b" is not a single event symbol`,
+			line: 2, col: 7, token: "a+b", directive: "event", event: "a+b",
+		},
+		{
+			name: "unknown event option",
+			src:  "dep ok: a + b\nevent c_buy site=s0 explosive\n",
+			msg:  `spec: line 2: unknown event option "explosive"`,
+			line: 2, col: 21, token: "explosive", directive: "event", event: "c_buy",
+		},
+		{
+			name: "unknown directive keeps indentation in the column",
+			src:  "dep a + b\n   frobnicate x\n",
+			msg:  `spec: line 2: unknown directive "frobnicate"`,
+			line: 2, col: 4, token: "frobnicate",
+		},
+		{
+			name: "bad think value",
+			src:  "dep a + b\nagent w site=s0\nstep a think=soon\n",
+			msg:  `spec: line 3: bad think value "think=soon"`,
+			line: 3, col: 8, token: "think=soon", directive: "step", event: "a",
+		},
+		{
+			name: "unknown step option",
+			src:  "dep a + b\nagent w site=s0\n  step a slowly\n",
+			msg:  `spec: line 3: unknown step option "slowly"`,
+			line: 3, col: 10, token: "slowly", directive: "step", event: "a",
+		},
+		{
+			name: "onreject alternative fails inside the option",
+			src:  "dep a + b\nagent w site=s0\nstep a onreject=~~x\n",
+			msg:  `spec: line 3: onreject "~~x": algebra: parse error at offset 1: '~' must be applied to an event symbol, got "~"`,
+			line: 3, col: 18, token: "~", directive: "step", event: "~~x",
+		},
+		{
+			name: "step symbol error",
+			src:  "dep a + b\nagent w site=s0\nstep ~~a\n",
+			msg:  `spec: line 3: algebra: parse error at offset 1: '~' must be applied to an event symbol, got "~"`,
+			line: 3, col: 7, token: "~", directive: "step", event: "~~a",
+		},
+		{
+			name: "workflow arity is unanchored",
+			src:  "workflow a b\ndep a + b\n",
+			msg:  "spec: line 1: workflow needs exactly one name",
+			line: 1, col: 0, token: "", directive: "workflow",
+		},
+		{
+			name: "whole-file error has no line",
+			src:  "# only a comment\n",
+			msg:  "spec: no dependencies",
+			line: 0, col: 0, token: "",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseString(c.src)
+			if err == nil {
+				t.Fatal("parse succeeded")
+			}
+			if err.Error() != c.msg {
+				t.Errorf("message %q,\n  want %q", err.Error(), c.msg)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is %T, not *ParseError", err)
+			}
+			if pe.Line != c.line {
+				t.Errorf("Line = %d, want %d", pe.Line, c.line)
+			}
+			if pe.Col != c.col {
+				t.Errorf("Col = %d, want %d", pe.Col, c.col)
+			}
+			if pe.Token != c.token {
+				t.Errorf("Token = %q, want %q", pe.Token, c.token)
+			}
+			if pe.Directive != c.directive {
+				t.Errorf("Directive = %q, want %q", pe.Directive, c.directive)
+			}
+			if pe.Event != c.event {
+				t.Errorf("Event = %q, want %q", pe.Event, c.event)
+			}
+		})
+	}
+}

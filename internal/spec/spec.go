@@ -76,7 +76,8 @@ func Parse(r io.Reader) (*Spec, error) {
 	lineNo := 0
 	for scanner.Scan() {
 		lineNo++
-		line := strings.TrimSpace(scanner.Text())
+		raw := scanner.Text()
+		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
@@ -96,7 +97,7 @@ func Parse(r io.Reader) (*Spec, error) {
 			}
 			d, err := algebra.Parse(rest)
 			if err != nil {
-				return nil, perr(lineNo, "dep", "", err, "%v", err)
+				return nil, perr(lineNo, "dep", "", err, "%v", err).at(raw, rest)
 			}
 			s.Workflow.Deps = append(s.Workflow.Deps, d)
 			s.Workflow.Names = append(s.Workflow.Names, label)
@@ -106,7 +107,7 @@ func Parse(r io.Reader) (*Spec, error) {
 			}
 			sym, err := algebra.ParseSymbol(fields[1])
 			if err != nil {
-				return nil, perr(lineNo, "event", fields[1], err, "%v", err)
+				return nil, perr(lineNo, "event", fields[1], err, "%v", err).at(raw, fields[1])
 			}
 			meta := EventMeta{Sym: sym.Base()}
 			for _, opt := range fields[2:] {
@@ -118,7 +119,7 @@ func Parse(r io.Reader) (*Spec, error) {
 				case opt == "rejectable":
 					meta.Rejectable = true
 				default:
-					return nil, perr(lineNo, "event", meta.Sym.Key(), nil, "unknown event option %q", opt)
+					return nil, perr(lineNo, "event", meta.Sym.Key(), nil, "unknown event option %q", opt).at(raw, opt)
 				}
 			}
 			s.Events[meta.Sym.Key()] = meta
@@ -135,13 +136,13 @@ func Parse(r io.Reader) (*Spec, error) {
 			if current == nil {
 				return nil, perr(lineNo, "step", "", nil, "step outside an agent")
 			}
-			step, err := parseStep(fields[1:], lineNo)
+			step, err := parseStep(raw, fields[1:], lineNo)
 			if err != nil {
 				return nil, err
 			}
 			current.Steps = append(current.Steps, step)
 		default:
-			return nil, perr(lineNo, "", "", nil, "unknown directive %q", fields[0])
+			return nil, perr(lineNo, "", "", nil, "unknown directive %q", fields[0]).at(raw, fields[0])
 		}
 	}
 	if err := scanner.Err(); err != nil {
@@ -153,13 +154,13 @@ func Parse(r io.Reader) (*Spec, error) {
 	return s, nil
 }
 
-func parseStep(fields []string, lineNo int) (sched.Step, error) {
+func parseStep(raw string, fields []string, lineNo int) (sched.Step, error) {
 	if len(fields) < 1 {
 		return sched.Step{}, perr(lineNo, "step", "", nil, "step needs a symbol")
 	}
 	sym, err := algebra.ParseSymbol(fields[0])
 	if err != nil {
-		return sched.Step{}, perr(lineNo, "step", fields[0], err, "%v", err)
+		return sched.Step{}, perr(lineNo, "step", fields[0], err, "%v", err).at(raw, fields[0])
 	}
 	st := sched.Step{Sym: sym}
 	for _, opt := range fields[1:] {
@@ -167,7 +168,7 @@ func parseStep(fields []string, lineNo int) (sched.Step, error) {
 		case strings.HasPrefix(opt, "think="):
 			n, err := strconv.ParseInt(strings.TrimPrefix(opt, "think="), 10, 64)
 			if err != nil || n < 0 {
-				return sched.Step{}, perr(lineNo, "step", st.Sym.Key(), nil, "bad think value %q", opt)
+				return sched.Step{}, perr(lineNo, "step", st.Sym.Key(), nil, "bad think value %q", opt).at(raw, opt)
 			}
 			st.Think = simnet.Time(n)
 		case opt == "forced":
@@ -176,12 +177,12 @@ func parseStep(fields []string, lineNo int) (sched.Step, error) {
 			for _, part := range strings.Split(strings.TrimPrefix(opt, "onreject="), ";") {
 				alt, err := algebra.ParseSymbol(part)
 				if err != nil {
-					return sched.Step{}, perr(lineNo, "step", part, err, "onreject %q: %v", part, err)
+					return sched.Step{}, perr(lineNo, "step", part, err, "onreject %q: %v", part, err).at(raw, part)
 				}
 				st.OnReject = append(st.OnReject, sched.Step{Sym: alt})
 			}
 		default:
-			return sched.Step{}, perr(lineNo, "step", st.Sym.Key(), nil, "unknown step option %q", opt)
+			return sched.Step{}, perr(lineNo, "step", st.Sym.Key(), nil, "unknown step option %q", opt).at(raw, opt)
 		}
 	}
 	return st, nil

@@ -137,6 +137,69 @@ func Random(nDeps, nEvents int, seed int64, sites int) *Workload {
 		func(i int) simnet.Time { return simnet.Time(10 + 50*i) })
 }
 
+// Mix builds nDeps dependencies drawn from the full paper family —
+// precedence, implication, enabling, compensation, exclusion, and the
+// Example 13 mutex triple — over nEvents events.  Pair-shaped
+// dependencies always point from a lower to a higher event index, so
+// the specification stays acyclic and satisfiable; exclusion and mutex
+// are order-free and add the negative/◇ guard shapes the simpler
+// generators never produce.  The model checker's fuzz harness
+// (internal/mc) feeds on it: small universes, every dependency family,
+// deterministic per (nDeps, nEvents, seed).
+func Mix(nDeps, nEvents int, seed int64, sites int) *Workload {
+	if nEvents < 3 {
+		nEvents = 3
+	}
+	r := rand.New(rand.NewSource(seed))
+	w := &core.Workflow{}
+	seen := map[string]bool{}
+	for guard := 0; len(w.Deps) < nDeps && guard < 64*nDeps; guard++ {
+		i := r.Intn(nEvents - 1)
+		j := i + 1 + r.Intn(nEvents-i-1)
+		kind := r.Intn(6)
+		key := fmt.Sprintf("%d-%d-%d", kind, i, j)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		switch kind {
+		case 0:
+			w.Deps = append(w.Deps, dep.Before(event(i), event(j)))
+		case 1:
+			w.Deps = append(w.Deps, dep.Implies(event(i), event(j)))
+		case 2:
+			w.Deps = append(w.Deps, dep.Enables(event(i), event(j)))
+		case 3:
+			w.Deps = append(w.Deps, dep.Exclusive(event(i), event(j)))
+		case 4:
+			// Compensation needs a third event above j.
+			if j >= nEvents-1 {
+				continue
+			}
+			k := j + 1 + r.Intn(nEvents-j-1)
+			key = fmt.Sprintf("4-%d-%d-%d", i, j, k)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			w.Deps = append(w.Deps, dep.Compensate(event(i), event(j), event(k)))
+		case 5:
+			if j >= nEvents-1 {
+				continue
+			}
+			k := j + 1 + r.Intn(nEvents-j-1)
+			key = fmt.Sprintf("5-%d-%d-%d", i, j, k)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			w.Deps = append(w.Deps, dep.MutexPair(event(i), event(j), event(k)))
+		}
+	}
+	return spread(fmt.Sprintf("mix-%d-%d-%d", nDeps, nEvents, seed), w, sites,
+		func(i int) simnet.Time { return simnet.Time(10 + 30*i) })
+}
+
 // Travel builds n independent instances of the Example 4 workflow,
 // suffixing events with the instance id — the embarrassing-parallel
 // case where Theorem 2/4 independence pays off.
